@@ -1,0 +1,30 @@
+"""Ablation: eager vs lazy vs window drain policies (Section 6.2).
+
+Beyond the paper's figures: quantifies the drain-policy tradeoff the
+window design resolves, plus the PB's write-coalescing factor.
+"""
+
+from repro.bench.ablations import ablation_coalescing, ablation_drain_policy
+
+from conftest import emit
+
+
+def test_ablation_drain_policy(benchmark, preset):
+    table = benchmark.pedantic(
+        ablation_drain_policy, args=(preset,), rounds=1, iterations=1
+    )
+    emit(table)
+    assert table.rows
+
+
+def test_ablation_coalescing(benchmark, preset):
+    table = benchmark.pedantic(
+        ablation_coalescing,
+        args=(preset,),
+        kwargs={"apps": ["gpkvs", "scan"]},
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    for row in table.rows:
+        assert row["coalescing"] >= 1.0

@@ -1,0 +1,15 @@
+"""NVM bandwidth sensitivity (Figure 10b).
+
+Regenerates the figure's data on the quick preset and prints it as an
+ASCII table; the benchmark time is the full figure-generation time.
+"""
+
+from repro.bench import figure10b
+
+from conftest import emit
+
+
+def test_figure10b(benchmark, preset):
+    table = benchmark.pedantic(figure10b, args=(preset,), rounds=1, iterations=1)
+    emit(table)
+    assert table.rows, "figure produced no data"

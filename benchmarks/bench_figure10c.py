@@ -1,0 +1,15 @@
+"""Drain window-size sensitivity (Figure 10c).
+
+Regenerates the figure's data on the quick preset and prints it as an
+ASCII table; the benchmark time is the full figure-generation time.
+"""
+
+from repro.bench import figure10c
+
+from conftest import emit
+
+
+def test_figure10c(benchmark, preset):
+    table = benchmark.pedantic(figure10c, args=(preset,), rounds=1, iterations=1)
+    emit(table)
+    assert table.rows, "figure produced no data"

@@ -1,0 +1,15 @@
+"""Worst-case recovery runtime (Figure 11).
+
+Regenerates the figure's data on the quick preset and prints it as an
+ASCII table; the benchmark time is the full figure-generation time.
+"""
+
+from repro.bench import figure11
+
+from conftest import emit
+
+
+def test_figure11(benchmark, preset):
+    table = benchmark.pedantic(figure11, args=(preset,), rounds=1, iterations=1)
+    emit(table)
+    assert table.rows, "figure produced no data"

@@ -1,0 +1,15 @@
+"""Speedup of each persistency model over epoch-far (Figure 6).
+
+Regenerates the figure's data on the quick preset and prints it as an
+ASCII table; the benchmark time is the full figure-generation time.
+"""
+
+from repro.bench import figure6
+
+from conftest import emit
+
+
+def test_figure6(benchmark, preset):
+    table = benchmark.pedantic(figure6, args=(preset,), rounds=1, iterations=1)
+    emit(table)
+    assert table.rows, "figure produced no data"

@@ -1,0 +1,15 @@
+"""Buffers-vs-scopes breakdown of SBRP speedup (Figure 7).
+
+Regenerates the figure's data on the quick preset and prints it as an
+ASCII table; the benchmark time is the full figure-generation time.
+"""
+
+from repro.bench import figure7
+
+from conftest import emit
+
+
+def test_figure7(benchmark, preset):
+    table = benchmark.pedantic(figure7, args=(preset,), rounds=1, iterations=1)
+    emit(table)
+    assert table.rows, "figure produced no data"

@@ -1,0 +1,15 @@
+"""L1 read misses for NVM data (Figure 8).
+
+Regenerates the figure's data on the quick preset and prints it as an
+ASCII table; the benchmark time is the full figure-generation time.
+"""
+
+from repro.bench import figure8
+
+from conftest import emit
+
+
+def test_figure8(benchmark, preset):
+    table = benchmark.pedantic(figure8, args=(preset,), rounds=1, iterations=1)
+    emit(table)
+    assert table.rows, "figure produced no data"

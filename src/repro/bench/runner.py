@@ -1,0 +1,74 @@
+"""Scenario runner: one (app, model, system) measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional
+
+from repro.apps import build_app
+from repro.common.config import (
+    ModelName,
+    PMPlacement,
+    SBRPConfig,
+    SystemConfig,
+    paper_system,
+)
+from repro.system import GPUSystem
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    app: str
+    label: str
+    cycles: float
+    stats: Mapping[str, float]
+
+    def stat(self, name: str, default: float = 0.0) -> float:
+        return self.stats.get(name, default)
+
+
+def scenario_config(
+    model: ModelName,
+    placement: PMPlacement,
+    eadr: bool = False,
+    nvm_bw_scale: float = 1.0,
+    pb_coverage: float = 0.5,
+    window: int = 6,
+    demote_block_scope: bool = False,
+) -> SystemConfig:
+    """A Table 1 system with the given figure-specific knobs."""
+    config = paper_system(
+        model, placement, eadr=eadr, nvm_bw_scale=nvm_bw_scale
+    )
+    return replace(
+        config,
+        sbrp=SBRPConfig(
+            pb_coverage=pb_coverage,
+            window=window,
+            demote_block_scope=demote_block_scope,
+        ),
+    ).validate()
+
+
+def run_scenario(
+    app_name: str,
+    config: SystemConfig,
+    app_params: Optional[dict] = None,
+    verify: bool = True,
+) -> ScenarioResult:
+    """Run one app to completion under *config* and collect metrics."""
+    system = GPUSystem(config)
+    app = build_app(app_name, **(app_params or {}))
+    app.setup(system)
+    outcome = app.run(system)
+    if verify:
+        system.sync()
+        app.check(system, complete=True)
+    return ScenarioResult(
+        app=app_name,
+        label=config.label,
+        cycles=outcome.cycles,
+        stats=system.stats.snapshot(),
+    )

@@ -1,0 +1,46 @@
+"""Workload presets for the benchmark harness.
+
+``paper`` approximates Table 2's sizes on the Table 1 machine (scaled to
+what the Python substrate sustains while filling all 30 SMs for multiple
+waves); ``quick`` shrinks every app so the whole figure suite finishes
+in minutes, keeping every PMO structure intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Per-app constructor kwargs for each preset.
+WORKLOADS: Dict[str, Dict[str, dict]] = {
+    "quick": {
+        "gpkvs": dict(n_pairs=8192, capacity=16384, rounds=2),
+        "hashmap": dict(n_inserts=8192, capacity=16384, rounds=2),
+        "srad": dict(side=64),
+        "reduction": dict(blocks=8, per_thread=2),
+        "multiqueue": dict(batches=2, blocks=8),
+        "scan": dict(blocks=8),
+    },
+    "paper": {
+        "gpkvs": dict(n_pairs=61440, capacity=131072, rounds=4),
+        "hashmap": dict(n_inserts=61440, capacity=131072, rounds=4),
+        "srad": dict(side=176),
+        "reduction": dict(blocks=30, per_thread=4),
+        "multiqueue": dict(batches=4, blocks=30),
+        "scan": dict(blocks=30),
+    },
+}
+
+#: Figure 6's x-axis order.
+APP_ORDER = ["gpkvs", "hashmap", "srad", "reduction", "multiqueue", "scan"]
+
+#: The apps with inter-threadblock / intra-threadblock scoped PMO
+#: (Figure 7 excludes the intra-thread-only apps).
+SCOPED_APPS = ["reduction", "multiqueue", "scan"]
+
+
+def workload(app: str, preset: str = "quick") -> dict:
+    """Constructor kwargs for *app* under *preset*."""
+    try:
+        return dict(WORKLOADS[preset][app])
+    except KeyError:
+        raise KeyError(f"no preset {preset!r} for app {app!r}") from None

@@ -1,0 +1,114 @@
+"""Fixed-width bitmasks used by the SBRP hardware structures.
+
+The paper's persist buffer keeps a 32-bit *Warp BM* per entry and three
+per-SM masks (ODM, EDM, FSM) sized to the maximum number of resident
+warps.  :class:`WarpMask` wraps an integer with bounds-checked bit
+operations so the hardware code reads like the paper's description.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class WarpMask:
+    """A fixed-width bitmask over warp slots.
+
+    Bit *i* set means "warp slot *i* participates".  Instances are
+    mutable; the SBRP masks (ODM/EDM/FSM) mutate in place, while
+    per-entry Warp BMs are typically built once and OR-ed.
+    """
+
+    __slots__ = ("width", "_bits")
+
+    def __init__(self, width: int = 32, bits: int = 0) -> None:
+        if width <= 0:
+            raise ValueError(f"mask width must be positive, got {width}")
+        limit = (1 << width) - 1
+        if bits & ~limit:
+            raise ValueError(f"bits {bits:#x} exceed mask width {width}")
+        self.width = width
+        self._bits = bits
+
+    @classmethod
+    def from_warps(cls, warps: Iterable[int], width: int = 32) -> "WarpMask":
+        """Build a mask with the given warp-slot indices set."""
+        mask = cls(width)
+        for warp in warps:
+            mask.set(warp)
+        return mask
+
+    @classmethod
+    def single(cls, warp: int, width: int = 32) -> "WarpMask":
+        """Build a mask with exactly one warp-slot bit set."""
+        mask = cls(width)
+        mask.set(warp)
+        return mask
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    def set(self, warp: int) -> None:
+        self._check(warp)
+        self._bits |= 1 << warp
+
+    def clear(self, warp: int) -> None:
+        self._check(warp)
+        self._bits &= ~(1 << warp)
+
+    def test(self, warp: int) -> bool:
+        self._check(warp)
+        return bool(self._bits & (1 << warp))
+
+    def or_with(self, other: "WarpMask") -> None:
+        """In-place OR (the paper's 'bitwise OR into FSM' operation)."""
+        self._bits |= other._bits & ((1 << self.width) - 1)
+
+    def and_nonzero(self, other: "WarpMask") -> bool:
+        """True when the masks share any set bit (the paper's AND test)."""
+        return bool(self._bits & other._bits)
+
+    def clear_mask(self, other: "WarpMask") -> None:
+        """Clear every bit set in *other*."""
+        self._bits &= ~other._bits
+
+    def reset(self) -> None:
+        self._bits = 0
+
+    def any(self) -> bool:
+        return self._bits != 0
+
+    def count(self) -> int:
+        return bin(self._bits).count("1")
+
+    def warps(self) -> Iterator[int]:
+        """Iterate the warp-slot indices whose bits are set."""
+        bits = self._bits
+        warp = 0
+        while bits:
+            if bits & 1:
+                yield warp
+            bits >>= 1
+            warp += 1
+
+    def copy(self) -> "WarpMask":
+        return WarpMask(self.width, self._bits)
+
+    def _check(self, warp: int) -> None:
+        if not 0 <= warp < self.width:
+            raise IndexError(f"warp slot {warp} out of range [0, {self.width})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WarpMask):
+            return NotImplemented
+        return self.width == other.width and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self.width, self._bits))
+
+    def __bool__(self) -> bool:
+        return self.any()
+
+    def __repr__(self) -> str:
+        return f"WarpMask(width={self.width}, bits={self._bits:#x})"

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an invalid state (engine-level failure)."""
+
+
+class PersistencyError(ReproError):
+    """A persistency-model invariant was violated during simulation."""
+
+
+class MemoryError_(ReproError):
+    """An invalid memory access (bad address, unallocated region)."""
+
+
+class RecoveryError(ReproError):
+    """Post-crash recovery produced an inconsistent data structure."""
+
+
+class LitmusError(ReproError):
+    """A litmus test is malformed or its outcome check failed."""

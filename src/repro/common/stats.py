@@ -1,0 +1,65 @@
+"""Hierarchical statistics counters.
+
+Every simulator component records events into a shared
+:class:`StatsRegistry` under dotted names (``l1.read_miss_pm``,
+``nvm.bytes_written`` ...).  The benchmark harness extracts figures from
+these counters; tests assert on them to pin down model behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class StatsRegistry:
+    """A flat map of dotted counter names to numeric values."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter *name* by *amount* (creating it at zero)."""
+        self._counters[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        """Overwrite counter *name*."""
+        self._counters[name] = value
+
+    def peak(self, name: str, value: float) -> None:
+        """Track the running maximum of *name*."""
+        if value > self._counters[name]:
+            self._counters[name] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._counters.get(name, default)
+
+    def with_prefix(self, prefix: str) -> Dict[str, float]:
+        """Return a sub-dictionary of counters under ``prefix.``."""
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(dotted)
+        }
+
+    def merge(self, other: "StatsRegistry") -> None:
+        """Accumulate every counter of *other* into this registry."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+
+    def snapshot(self) -> Mapping[str, float]:
+        """An immutable copy of the current counters."""
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:
+        return f"StatsRegistry({len(self._counters)} counters)"

@@ -1,0 +1,36 @@
+"""Unit conversions between wall-clock quantities and GPU core cycles.
+
+The simulator works exclusively in GPU core cycles.  The paper's Table 1
+gives latencies in nanoseconds and bandwidths in GB/s for a 1365 MHz core
+clock; these helpers convert both into cycle-domain quantities.
+"""
+
+from __future__ import annotations
+
+#: Simulated GPU core clock (Table 1 of the paper).
+CLOCK_MHZ = 1365
+
+#: Nanoseconds per GPU core cycle.
+NS_PER_CYCLE = 1000.0 / CLOCK_MHZ
+
+
+def ns_to_cycles(ns: float) -> int:
+    """Convert a latency in nanoseconds to (rounded) core cycles."""
+    return max(1, round(ns / NS_PER_CYCLE))
+
+
+def cycles_to_ns(cycles: float) -> float:
+    """Convert a cycle count back to nanoseconds."""
+    return cycles * NS_PER_CYCLE
+
+
+def gbps_to_bytes_per_cycle(gbps: float) -> float:
+    """Convert a bandwidth in GB/s (10^9 bytes) to bytes per core cycle."""
+    bytes_per_second = gbps * 1e9
+    cycles_per_second = CLOCK_MHZ * 1e6
+    return bytes_per_second / cycles_per_second
+
+
+def bytes_per_cycle(gbps: float) -> float:
+    """Alias of :func:`gbps_to_bytes_per_cycle` for brevity at call sites."""
+    return gbps_to_bytes_per_cycle(gbps)

@@ -1,0 +1,14 @@
+"""Crash injection and recovery orchestration.
+
+:class:`~repro.crash.harness.CrashHarness` runs an application's
+crash-free execution once, then replays power failures at arbitrary
+instants: every persist's durability time is logged, so a crash at time
+*t* yields the exact durable PM image ADR semantics guarantee.  Each
+crash boots a fresh machine from the image, runs the app's recovery
+kernel, verifies the app's consistency invariants, and (optionally)
+re-runs the workload to completion to prove forward progress.
+"""
+
+from repro.crash.harness import CrashHarness, CrashReport
+
+__all__ = ["CrashHarness", "CrashReport"]

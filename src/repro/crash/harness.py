@@ -1,0 +1,138 @@
+"""The crash-recovery harness.
+
+Workflow::
+
+    harness = CrashHarness(lambda: build_app("gpkvs"), config)
+    report = harness.crash_at_fraction(0.5)   # power fails mid-run
+    assert report.consistent
+
+A *crash* is a point-in-time snapshot of the durable PM image (the
+persist log records when each persist was accepted by an ADR memory
+controller).  Recovery always happens on a **fresh machine**: new GPU,
+cold caches, empty persist buffers — only the durable PM image and the
+driver's namespace table survive, exactly like a real power cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.apps.base import App, RunOutcome
+from repro.common.config import SystemConfig
+from repro.common.errors import RecoveryError
+from repro.system import CrashImage, GPUSystem
+
+AppFactory = Callable[[], App]
+
+
+@dataclass
+class CrashReport:
+    """Outcome of one injected crash."""
+
+    crash_time: float
+    run_cycles: float
+    recovery_cycles: float
+    consistent: bool
+    completed: bool
+    error: Optional[str] = None
+
+
+class CrashHarness:
+    """Runs an app once, then injects crashes at chosen instants."""
+
+    def __init__(self, factory: AppFactory, config: SystemConfig) -> None:
+        self.factory = factory
+        self.config = config
+        self._baseline: Optional[GPUSystem] = None
+        self._baseline_app: Optional[App] = None
+        self._run: Optional[RunOutcome] = None
+
+    # ------------------------------------------------------------------
+    # baseline crash-free execution
+    # ------------------------------------------------------------------
+    def baseline(self) -> GPUSystem:
+        """Run the workload once (lazily); crashes replay against it."""
+        if self._baseline is None:
+            system = GPUSystem(self.config)
+            app = self.factory()
+            app.setup(system)
+            self._run = app.run(system)
+            system.sync()
+            self._baseline = system
+            self._baseline_app = app
+        return self._baseline
+
+    @property
+    def run_cycles(self) -> float:
+        self.baseline()
+        assert self._run is not None
+        return self._run.cycles
+
+    def end_time(self) -> float:
+        return self.baseline().now
+
+    # ------------------------------------------------------------------
+    # crash injection
+    # ------------------------------------------------------------------
+    def crash_at(self, time: float, complete: bool = True) -> CrashReport:
+        """Power failure at absolute simulated time *time*."""
+        baseline = self.baseline()
+        image = baseline.crash(at=min(time, baseline.now))
+        return self._recover_from(image, complete)
+
+    def crash_at_fraction(self, fraction: float, complete: bool = True) -> CrashReport:
+        """Power failure *fraction* of the way through the execution."""
+        if not 0 <= fraction <= 1:
+            raise ValueError("fraction must be within [0, 1]")
+        return self.crash_at(self.end_time() * fraction, complete)
+
+    def sweep(self, points: int = 8, complete: bool = True) -> List[CrashReport]:
+        """Inject crashes at evenly spaced instants of the execution."""
+        return [
+            self.crash_at_fraction(i / (points + 1), complete)
+            for i in range(1, points + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # recovery on a fresh machine
+    # ------------------------------------------------------------------
+    def _recover_from(self, image: CrashImage, complete: bool) -> CrashReport:
+        rebooted = GPUSystem(self.config, pm_image=image)
+        app = self.factory()
+        app.reopen(rebooted)
+        recovery = app.recover(rebooted)
+        rebooted.sync()
+        report = CrashReport(
+            crash_time=image.time,
+            run_cycles=self.run_cycles,
+            recovery_cycles=recovery.cycles,
+            consistent=True,
+            completed=False,
+        )
+        try:
+            app.check(rebooted, complete=False)
+        except RecoveryError as exc:
+            report.consistent = False
+            report.error = str(exc)
+            return report
+        if complete:
+            # Forward progress: re-running the workload must finish the
+            # job from the recovered state.
+            app.run(rebooted)
+            rebooted.sync()
+            try:
+                app.check(rebooted, complete=True)
+                report.completed = True
+            except RecoveryError as exc:
+                report.error = str(exc)
+        return report
+
+    def recovery_cycles_at_worst_case(self) -> float:
+        """Recovery runtime for the paper's Figure 11 scenario: crash at
+        the instant that maximizes recovery work (just before the last
+        commit becomes durable)."""
+        report = self.crash_at_fraction(0.999, complete=False)
+        if not report.consistent:
+            raise RecoveryError(f"worst-case recovery failed: {report.error}")
+        return report.recovery_cycles

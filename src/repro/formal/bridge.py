@@ -1,0 +1,115 @@
+"""Model validation: run litmus programs on the timing simulator.
+
+Each litmus thread becomes one warp (leader lane active); the program's
+crash images observed from the simulator's persist log at every instant
+must be a subset of what the axiomatic model allows — if the simulator
+ever produces an image the model forbids, the hardware implementation
+violates its own specification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.common.config import ModelName, Scope, small_system
+from repro.formal.events import EventKind, LitmusProgram
+from repro.formal.litmus import LitmusTest, run_litmus
+from repro.system import GPUSystem
+
+
+def simulate_litmus(
+    test: LitmusTest,
+    model: ModelName = ModelName.SBRP,
+    crash_points: int = 64,
+) -> List[Dict[str, int]]:
+    """Run the litmus program on the simulator; return the distinct
+    durable images observed at *crash_points* instants."""
+    program = test.build().validate()
+    blocks = sorted({t.block for t in program.threads})
+    # All threads of a block share a threadblock; each thread is one
+    # warp.  Threads/block is sized to fit the widest block.
+    widest = max(
+        sum(1 for t in program.threads if t.block == b) for b in blocks
+    )
+    config = small_system(
+        model, num_sms=max(2, len(blocks)), threads_per_block=32 * max(2, widest)
+    )
+    system = GPUSystem(config)
+
+    locations = sorted(
+        {e.loc for e in program.events() if e.loc is not None}
+    )
+    pm_region = system.pm_create("litmus.pm", 128 * max(1, len(locations)))
+    vol_region = system.malloc(128 * max(1, len(locations)))
+    addr: Dict[str, int] = {}
+    for index, loc in enumerate(locations):
+        region = pm_region if loc.startswith("p") else vol_region
+        addr[loc] = region.base + 128 * index
+
+    def kernel(w):
+        mine = [
+            t
+            for t in program.threads
+            if t.block == blocks[w.block_id % len(blocks)]
+        ]
+        if w.warp_in_block >= len(mine):
+            return
+        thread = mine[w.warp_in_block]
+        leader = w.lane == 0
+        for event in thread.events:
+            if event.kind in (EventKind.W, EventKind.WV):
+                yield w.st(addr[event.loc], event.value, mask=leader)
+            elif event.kind is EventKind.R:
+                yield w.ld(addr[event.loc], mask=leader)
+            elif event.kind is EventKind.OFENCE:
+                yield w.ofence()
+            elif event.kind is EventKind.DFENCE:
+                yield w.dfence()
+            elif event.kind is EventKind.PREL:
+                yield w.prel(addr[event.loc], event.value, event.scope)
+            elif event.kind is EventKind.PACQ:
+                while True:
+                    got = yield w.pacq(addr[event.loc], event.scope)
+                    if got != 0:
+                        break
+
+    system.launch(kernel, grid_blocks=len(blocks))
+    system.sync()
+
+    end = system.now
+    images: List[Dict[str, int]] = []
+    seen: Set[Tuple[Tuple[str, int], ...]] = set()
+    for i in range(crash_points + 1):
+        image = system.gpu.subsystem.crash_image(end * i / crash_points)
+        named = {
+            loc: image.get(a, 0) for loc, a in addr.items() if loc.startswith("p")
+        }
+        key = tuple(sorted(named.items()))
+        if key not in seen:
+            seen.add(key)
+            images.append(named)
+    return images
+
+
+def validate_against_model(
+    test: LitmusTest, model: ModelName = ModelName.SBRP
+) -> List[Dict[str, int]]:
+    """Return simulator-observed images NOT allowed by the axiomatic
+    model (empty = the implementation refines its specification).
+
+    The simulator samples crash points across the whole execution —
+    including before any dFence completes — so the comparison uses the
+    unconstrained allowed set (no completed-dFence assumption).
+    """
+    unconstrained = LitmusTest(
+        name=test.name, build=test.build, forbidden=(), required=()
+    )
+    allowed = run_litmus(unconstrained).images
+    allowed_keys = {tuple(sorted(img.items())) for img in allowed}
+
+    def normalize(img: Dict[str, int]) -> Tuple[Tuple[str, int], ...]:
+        return tuple(sorted((k, v) for k, v in img.items() if v != 0))
+
+    allowed_norm = {normalize(dict(k)) for k in map(dict, allowed_keys)}
+    observed = simulate_litmus(test, model)
+    return [img for img in observed if normalize(img) not in allowed_norm]

@@ -1,0 +1,65 @@
+"""Scoped-persistency-bug detector (Section 5.3).
+
+Given a litmus program, reports release/acquire pairs whose scope does
+not cover both threads: the programmer expressed a synchronization
+intent (same location, observable pairing) that the persistency model
+will NOT turn into a pmo edge — the exact bug class of Section 5.3.
+
+This is the static analogue of tools like ScoRD (which the paper cites
+for the volatile version of these bugs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.formal.events import Event, LitmusProgram
+from repro.formal.relations import _narrowest
+
+
+@dataclass(frozen=True)
+class ScopeBugReport:
+    """One potentially mis-scoped release/acquire pair."""
+
+    release: Event
+    acquire: Event
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"scope bug: {self.release} -> {self.acquire}: {self.reason}"
+        )
+
+
+def find_scope_bugs(program: LitmusProgram) -> List[ScopeBugReport]:
+    """Release/acquire pairs that can pair by location but whose scope
+    leaves them without any pmo guarantee."""
+    reports: List[ScopeBugReport] = []
+    for rel in program.releases():
+        for acq in program.acquires():
+            if rel.loc != acq.loc or rel.tid == acq.tid:
+                continue
+            scope = _narrowest(rel, acq)
+            if not program.scope_covers(scope, rel.tid, acq.tid):
+                reports.append(
+                    ScopeBugReport(
+                        release=rel,
+                        acquire=acq,
+                        reason=(
+                            f"{scope.value}-scope pairing between thread "
+                            f"{rel.tid} (block {program.block_of(rel.tid)}) "
+                            f"and thread {acq.tid} (block "
+                            f"{program.block_of(acq.tid)}) creates no "
+                            "inter-thread PMO"
+                        ),
+                    )
+                )
+    return reports
+
+
+def assert_scope_clean(program: LitmusProgram) -> None:
+    """Raise ``AssertionError`` listing every detected scope bug."""
+    bugs = find_scope_bugs(program)
+    if bugs:
+        raise AssertionError("\n".join(str(b) for b in bugs))

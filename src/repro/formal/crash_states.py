@@ -1,0 +1,148 @@
+"""Enumerating the crash images a persistency model permits.
+
+A crash image corresponds to a *downward-closed* subset of the pmo DAG
+(if W2 is durable, everything pmo-before it is durable), with per-
+location values chosen among the pmo-maximal durable writes to that
+location.  dFences additionally force durability: every persist
+pmo-before a *completed* dFence must be in every image (completion of a
+dFence guarantees the issuing thread's prior persists are durable).
+
+For litmus-sized programs the enumeration is exhaustive; apps use the
+simulator's persist log instead (:mod:`repro.crash`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.formal.events import Event, EventKind, LitmusProgram
+from repro.formal.relations import ExecutionWitness, build_pmo, build_po
+
+#: A crash image: location -> durable value (missing = initial zero).
+CrashImageT = Dict[str, int]
+
+
+def downward_closed_subsets(dag: nx.DiGraph) -> Iterable[FrozenSet[int]]:
+    """All downward-closed subsets (order ideals) of a DAG.
+
+    Exponential; intended for litmus-scale graphs (a dozen nodes).
+    """
+    nodes = list(nx.topological_sort(dag))
+    ancestors = {n: nx.ancestors(dag, n) for n in nodes}
+    seen: Set[FrozenSet[int]] = set()
+    for mask in itertools.product([False, True], repeat=len(nodes)):
+        subset = {n for n, take in zip(nodes, mask) if take}
+        if all(ancestors[n] <= subset for n in subset):
+            seen.add(frozenset(subset))
+    return seen
+
+
+def allowed_crash_images(
+    witness: ExecutionWitness,
+    completed_dfences: Optional[Iterable[int]] = None,
+) -> List[CrashImageT]:
+    """Every PM image the model allows after a crash of this execution.
+
+    *completed_dfences* lists eids of dFence events known to have
+    completed before the crash; their preceding persists become
+    mandatory in every image.
+    """
+    program = witness.program
+    pmo = build_pmo(witness)
+    events: Dict[int, Event] = pmo.graph["events"]
+
+    # Acquires are blocking spins: a thread whose acquire observed no
+    # release never executes its later events, so those persists cannot
+    # appear in any image of this witness.
+    executed = _executed_events(witness)
+    restricted = pmo.subgraph([n for n in pmo.nodes if n in executed]).copy()
+
+    mandatory = _dfence_mandatory(program, completed_dfences or ()) & executed
+
+    images: Set[Tuple[Tuple[str, int], ...]] = set()
+    for subset in downward_closed_subsets(restricted):
+        if not mandatory <= subset:
+            continue
+        images.update(_value_choices(subset, restricted, events))
+    return [dict(image) for image in sorted(images)]
+
+
+def _executed_events(witness: ExecutionWitness) -> FrozenSet[int]:
+    """Event ids that actually execute under this witness.
+
+    Each thread truncates at its first acquire that observed no release
+    — and an acquire can only observe a release that itself executed, so
+    truncation cascades to a fixpoint.
+    """
+    executed: Set[int] = {e.eid for e in witness.program.events()}
+    while True:
+        next_executed: Set[int] = set()
+        for thread in witness.program.threads:
+            for event in thread.events:
+                if event.kind is EventKind.PACQ:
+                    source = witness.reads_from.get(event.eid)
+                    if source is None or source not in executed:
+                        break
+                next_executed.add(event.eid)
+        if next_executed == executed:
+            return frozenset(executed)
+        executed = next_executed
+
+
+def _dfence_mandatory(
+    program: LitmusProgram, completed_dfences: Iterable[int]
+) -> FrozenSet[int]:
+    """Persists that every image must contain: those program-ordered
+    before a completed dFence of the same thread."""
+    completed = set(completed_dfences)
+    po = nx.transitive_closure_dag(build_po(program))
+    mandatory: Set[int] = set()
+    for event in program.events():
+        if event.kind is EventKind.DFENCE and event.eid in completed:
+            for persist in program.events():
+                if (
+                    persist.is_persist
+                    and persist.tid == event.tid
+                    and po.has_edge(persist.eid, event.eid)
+                ):
+                    mandatory.add(persist.eid)
+    return frozenset(mandatory)
+
+
+def _value_choices(
+    subset: FrozenSet[int],
+    pmo: nx.DiGraph,
+    events: Dict[int, Event],
+) -> Iterable[Tuple[Tuple[str, int], ...]]:
+    """Per-location value combinations for one durable set.
+
+    Writes to the same location that are pmo-unordered may land in any
+    order; the surviving value is any pmo-maximal durable write.
+    """
+    by_loc: Dict[str, List[int]] = {}
+    for eid in subset:
+        event = events[eid]
+        assert event.loc is not None
+        by_loc.setdefault(event.loc, []).append(eid)
+
+    per_loc_options: List[List[Tuple[str, int]]] = []
+    for loc, eids in sorted(by_loc.items()):
+        maximal = [
+            e
+            for e in eids
+            if not any(
+                other != e and pmo.has_edge(e, other)
+                for other in eids
+            )
+        ]
+        per_loc_options.append(
+            [(loc, events[eid].value) for eid in sorted(set(maximal))]
+        )
+    if not per_loc_options:
+        yield ()
+        return
+    for combo in itertools.product(*per_loc_options):
+        yield tuple(sorted(combo))

@@ -1,0 +1,157 @@
+"""Building po / vmo / pmo for an execution witness (Boxes 1 and 2).
+
+The model is *axiomatic*: given a litmus program and a synchronization
+witness (which release each acquire observed), the relations are built
+as explicit :class:`networkx.DiGraph` edges:
+
+* ``po`` — program order within each thread.
+* ``vmo`` — the fragment of volatile memory order the witness fixes:
+  po edges plus release→acquire edges for observed same-location pairs
+  of sufficient scope (scoped release consistency).
+* ``pmo`` — Box 2's two rules plus transitivity:
+
+  - *intra-thread*: ``W po OF po W'  ⟹  W pmo W'`` (dFence counts as an
+    ordering fence too);
+  - *inter-thread*: ``W po pRel(X,S) vmo pAcq(X,S) po W'  ⟹  W pmo W'``
+    when S covers both threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.common.errors import LitmusError
+from repro.formal.events import Event, EventKind, LitmusProgram, ReadsFrom
+
+
+@dataclass
+class ExecutionWitness:
+    """One resolved execution: the program plus acquire pairings."""
+
+    program: LitmusProgram
+    reads_from: ReadsFrom = field(default_factory=dict)
+
+    def release_of(self, acq: Event) -> Optional[Event]:
+        rel_eid = self.reads_from.get(acq.eid)
+        if rel_eid is None:
+            return None
+        for event in self.program.events():
+            if event.eid == rel_eid:
+                return event
+        raise LitmusError(f"witness references unknown event {rel_eid}")
+
+
+def build_po(program: LitmusProgram) -> nx.DiGraph:
+    """Program order: a chain per thread."""
+    po = nx.DiGraph()
+    for thread in program.threads:
+        for event in thread.events:
+            po.add_node(event.eid)
+        for a, b in zip(thread.events, thread.events[1:]):
+            po.add_edge(a.eid, b.eid)
+    return po
+
+
+def build_vmo(witness: ExecutionWitness) -> nx.DiGraph:
+    """The witness-determined fragment of volatile memory order.
+
+    vmo contains po (per-thread order is respected by the scoped model
+    for same-thread operations) and one release→acquire edge for every
+    observed pairing whose scope covers both threads.  The relation is
+    transitively closed, as Box 1 requires.
+    """
+    program = witness.program
+    vmo = build_po(program)
+    for acq in program.acquires():
+        rel = witness.release_of(acq)
+        if rel is None:
+            continue
+        if rel.loc != acq.loc:
+            raise LitmusError(
+                f"acquire {acq} cannot read release {rel}: different locations"
+            )
+        scope = _narrowest(rel, acq)
+        if program.scope_covers(scope, rel.tid, acq.tid):
+            vmo.add_edge(rel.eid, acq.eid)
+    if not nx.is_directed_acyclic_graph(vmo):
+        raise LitmusError("infeasible witness: cyclic vmo")
+    return nx.transitive_closure_dag(vmo)
+
+
+def build_pmo(witness: ExecutionWitness) -> nx.DiGraph:
+    """Persist memory order over the program's PM writes (Box 2)."""
+    program = witness.program
+    po = build_po(program)
+    po_closed = nx.transitive_closure_dag(po)
+    vmo = build_vmo(witness)
+    events = {event.eid: event for event in program.events()}
+    persists = [e for e in program.events() if e.is_persist]
+    pmo = nx.DiGraph()
+    for persist in persists:
+        pmo.add_node(persist.eid)
+
+    fences = [
+        e
+        for e in program.events()
+        if e.kind in (EventKind.OFENCE, EventKind.DFENCE)
+    ]
+    # Rule 1: intra-thread via ordering/durability fences.
+    for fence in fences:
+        for w1 in persists:
+            if w1.tid != fence.tid or not po_closed.has_edge(w1.eid, fence.eid):
+                continue
+            for w2 in persists:
+                if w2.tid != fence.tid:
+                    continue
+                if po_closed.has_edge(fence.eid, w2.eid):
+                    pmo.add_edge(w1.eid, w2.eid)
+
+    # Rule 2: inter-thread via scoped release/acquire in vmo.
+    for acq in program.acquires():
+        rel = witness.release_of(acq)
+        if rel is None:
+            continue
+        scope = _narrowest(rel, acq)
+        if not program.scope_covers(scope, rel.tid, acq.tid):
+            continue
+        if not vmo.has_edge(rel.eid, acq.eid):
+            continue
+        for w1 in persists:
+            if w1.tid != rel.tid or not po_closed.has_edge(w1.eid, rel.eid):
+                continue
+            for w2 in persists:
+                if w2.tid != acq.tid:
+                    continue
+                if po_closed.has_edge(acq.eid, w2.eid):
+                    pmo.add_edge(w1.eid, w2.eid)
+
+    # A PM-resident release variable is itself a persist ordered after
+    # the persists preceding the release.
+    for rel in program.releases():
+        if rel.loc is not None and rel.loc.startswith("p"):
+            pmo.add_node(rel.eid)
+            for w1 in persists:
+                if w1.tid == rel.tid and po_closed.has_edge(w1.eid, rel.eid):
+                    pmo.add_edge(w1.eid, rel.eid)
+
+    if not nx.is_directed_acyclic_graph(pmo):
+        raise LitmusError("pmo has a cycle; witness is inconsistent")
+    closed = nx.transitive_closure_dag(pmo)
+    closed.graph["events"] = events
+    return closed
+
+
+def durable_prefix_required(pmo: nx.DiGraph, eid: int) -> List[int]:
+    """Every persist that must be durable whenever *eid* is durable."""
+    return sorted(nx.ancestors(pmo, eid))
+
+
+def _narrowest(rel: Event, acq: Event):
+    """The effective scope of a release/acquire pair is the narrowest of
+    the two operations' scopes (Section 2)."""
+    assert rel.scope is not None and acq.scope is not None
+    order = {"block": 0, "device": 1, "system": 2}
+    return rel.scope if order[rel.scope.value] <= order[acq.scope.value] else acq.scope

@@ -1,0 +1,44 @@
+"""The GPU execution model: SMs, warps, SIMT kernels, event engine.
+
+Kernels are Python generator functions executed at *warp* granularity
+(32 lanes in lock-step with active-lane masks), mirroring both real SIMT
+hardware and the paper's observation that per-warp tracking is the right
+granularity for persist ordering.
+"""
+
+from repro.gpu.engine import Engine
+from repro.gpu.ops import (
+    AtomicAdd,
+    BlockBarrier,
+    Compute,
+    DFence,
+    Ld,
+    OFence,
+    PAcq,
+    PRel,
+    St,
+    ThreadFence,
+)
+from repro.gpu.warp import Warp, WarpCtx, WarpState
+from repro.gpu.sm import SM
+from repro.gpu.device import GPU, KernelResult
+
+__all__ = [
+    "GPU",
+    "AtomicAdd",
+    "BlockBarrier",
+    "Compute",
+    "DFence",
+    "Engine",
+    "KernelResult",
+    "Ld",
+    "OFence",
+    "PAcq",
+    "PRel",
+    "SM",
+    "St",
+    "ThreadFence",
+    "Warp",
+    "WarpCtx",
+    "WarpState",
+]

@@ -1,0 +1,220 @@
+"""The GPU device: block dispatch, kernel launch, drain at kernel end.
+
+A kernel launch queues its grid's threadblocks; each SM runs as many
+concurrent blocks as its warp slots allow (one, with the paper's 1024
+threads/block and 32 resident warps).  A launch completes when every
+block has retired **and** every buffered persist has drained — kernel
+boundaries are durability points under all three models, matching GPM's
+``gpm_persist`` discipline and giving a fair end-of-kernel comparison.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsRegistry
+from repro.memory.backing import BackingStore
+from repro.memory.subsystem import MemorySubsystem
+from repro.gpu.engine import Engine
+from repro.gpu.warp import Warp, WarpCtx, WarpState
+
+KernelFn = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Timing and bookkeeping of one kernel launch."""
+
+    name: str
+    start: float
+    end: float
+    blocks: int
+
+    @property
+    def cycles(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class _Block:
+    key: int
+    block_id: int
+    warps_remaining: int
+
+
+class GPU:
+    """One simulated GPU attached to a memory subsystem."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        backing: Optional[BackingStore] = None,
+        stats: Optional[StatsRegistry] = None,
+        max_cycles: float = 2e9,
+    ) -> None:
+        from repro.persistency import build_model  # local import: cycle guard
+
+        config.validate()
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.backing = backing if backing is not None else BackingStore()
+        self.engine = Engine(max_cycles=max_cycles)
+        self.subsystem = MemorySubsystem(
+            config.memory, config.gpu, self.backing, self.stats
+        )
+        self.model = build_model(config, self.stats)
+        from repro.gpu.sm import SM  # local import: cycle guard
+
+        self.sms = [SM(i, self) for i in range(config.gpu.num_sms)]
+        self._block_keys = itertools.count()
+        self._pending_blocks: Deque[int] = deque()
+        self._live_blocks: Dict[int, _Block] = {}
+        self._launch_ctx: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # kernel launch
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: KernelFn,
+        grid_blocks: int,
+        args: tuple = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        name: Optional[str] = None,
+        drain: bool = False,
+    ) -> KernelResult:
+        """Run *kernel* over *grid_blocks* threadblocks to completion.
+
+        The kernel is a generator function ``kernel(w: WarpCtx, *args,
+        **kwargs)``; every warp of every block runs one instance.  With
+        ``drain=True`` the launch additionally waits for every buffered
+        persist to reach the persistence domain (host sync semantics).
+        """
+        if self._launch_ctx is not None:
+            raise SimulationError("a kernel launch is already in progress")
+        if grid_blocks < 1:
+            raise SimulationError("grid must have at least one block")
+        start = self.engine.now
+        self._launch_ctx = {
+            "kernel": kernel,
+            "args": args,
+            "kwargs": kwargs or {},
+            "blocks_done": 0,
+            "grid_blocks": grid_blocks,
+        }
+        self._pending_blocks = deque(range(grid_blocks))
+        for sm in self.sms:
+            self._fill_sm(sm, start)
+        self.engine.run(until=lambda: self._launch_ctx is None)
+        if self._launch_ctx is not None:
+            blocked = [
+                (sm.sm_id, repr(w))
+                for sm in self.sms
+                for w in sm.warps.values()
+                if w.state is not WarpState.DONE
+            ]
+            raise SimulationError(
+                f"kernel deadlocked with {len(blocked)} unfinished warps: "
+                f"{blocked[:8]}"
+            )
+        # Kernel completion = last warp retired.  Buffered persists keep
+        # draining in the background (crash consistency never depended on
+        # kernel boundaries being durability points); programs that need
+        # durability use dFence in-kernel or host-side sync().
+        self.stats.add("kernel.launches")
+        if drain:
+            self.sync()
+        return KernelResult(
+            name=name or getattr(kernel, "__name__", "kernel"),
+            start=start,
+            end=self.engine.now,
+            blocks=grid_blocks,
+        )
+
+    def sync(self) -> float:
+        """Host-side synchronize-and-persist: drain every SM's buffered
+        persists to the persistence domain (event-driven, so SMs drain
+        concurrently).  Returns the completion time."""
+        for sm in self.sms:
+            self.model.begin_drain(sm, self.engine.now)
+        self.engine.run(
+            until=lambda: all(
+                self.model.drained(sm, self.engine.now) for sm in self.sms
+            )
+        )
+        undrained = [
+            sm.sm_id
+            for sm in self.sms
+            if not self.model.drained(sm, self.engine.now)
+        ]
+        if undrained:
+            raise SimulationError(
+                f"drain stalled on SMs {undrained}: no events left but "
+                "persists remain buffered"
+            )
+        for sm in self.sms:
+            self.model.finish_drain(sm)
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # block dispatch
+    # ------------------------------------------------------------------
+    def _fill_sm(self, sm, now: float) -> None:
+        """Dispatch queued blocks onto free warp slots of *sm*."""
+        assert self._launch_ctx is not None
+        gpu_cfg = self.config.gpu
+        warps_per_block = gpu_cfg.warps_per_block
+        while self._pending_blocks:
+            used = len(sm.warps)
+            if used + warps_per_block > gpu_cfg.max_warps_per_sm:
+                break
+            block_id = self._pending_blocks.popleft()
+            key = next(self._block_keys)
+            self._live_blocks[key] = _Block(key, block_id, warps_per_block)
+            base_slot = self._free_slot_base(sm, warps_per_block)
+            for w in range(warps_per_block):
+                ctx = WarpCtx(
+                    block_id=block_id,
+                    warp_in_block=w,
+                    warp_size=gpu_cfg.warp_size,
+                    block_size=gpu_cfg.threads_per_block,
+                    grid_blocks=self._launch_ctx["grid_blocks"],
+                )
+                gen = self._launch_ctx["kernel"](
+                    ctx, *self._launch_ctx["args"], **self._launch_ctx["kwargs"]
+                )
+                warp = Warp(base_slot + w, ctx, gen, key)
+                sm.add_warp(warp, now)
+            self.stats.add("kernel.blocks_dispatched")
+
+    def _free_slot_base(self, sm, needed: int) -> int:
+        """First run of *needed* consecutive free warp slots."""
+        occupied = set(sm.warps)
+        limit = self.config.gpu.max_warps_per_sm
+        for base in range(0, limit - needed + 1):
+            if all(base + i not in occupied for i in range(needed)):
+                return base
+        raise SimulationError("no free warp slots despite capacity check")
+
+    def on_warp_done(self, sm, warp: Warp, now: float) -> None:
+        """SM callback: a warp's generator finished."""
+        block = self._live_blocks.get(warp.block_key)
+        if block is None:
+            raise SimulationError(f"warp finished for unknown block {warp.block_key}")
+        block.warps_remaining -= 1
+        if block.warps_remaining > 0:
+            return
+        del self._live_blocks[warp.block_key]
+        sm.remove_block(warp.block_key)
+        assert self._launch_ctx is not None
+        self._launch_ctx["blocks_done"] += 1
+        if self._launch_ctx["blocks_done"] == self._launch_ctx["grid_blocks"]:
+            self._launch_ctx = None
+            return
+        self._fill_sm(sm, now)

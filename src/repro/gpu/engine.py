@@ -1,0 +1,66 @@
+"""Discrete-event simulation engine.
+
+A single binary heap of ``(time, seq, callback)`` drives the whole
+system.  Components schedule callbacks; the engine pops them in time
+order until the queue empties or a cycle budget is exceeded.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+from repro.common.errors import SimulationError
+
+EventFn = Callable[[float], None]
+
+
+class Engine:
+    """Time-ordered event queue with a hard cycle budget."""
+
+    def __init__(self, max_cycles: float = 2e9) -> None:
+        self.now: float = 0.0
+        self.max_cycles = max_cycles
+        self._queue: List[Tuple[float, int, EventFn]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, time: float, fn: EventFn) -> None:
+        """Run *fn(now)* at simulated time *time* (clamped to now)."""
+        if time < self.now:
+            time = self.now
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, fn))
+
+    def schedule_in(self, delay: float, fn: EventFn) -> None:
+        self.schedule(self.now + delay, fn)
+
+    def run(self, until: Callable[[], bool] | None = None) -> float:
+        """Process events until the queue drains or *until()* is true.
+
+        Returns the final simulated time.  Raises
+        :class:`SimulationError` when the cycle budget is exhausted,
+        which almost always indicates a livelocked spin loop in a kernel.
+        """
+        while self._queue:
+            if until is not None and until():
+                break
+            time, _seq, fn = heapq.heappop(self._queue)
+            if time > self.max_cycles:
+                raise SimulationError(
+                    f"cycle budget exceeded at t={time:.0f} "
+                    f"(budget {self.max_cycles:.0f}); likely a livelock"
+                )
+            self.now = max(self.now, time)
+            self.events_processed += 1
+            fn(self.now)
+        return self.now
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def reset(self) -> None:
+        self.now = 0.0
+        self._queue.clear()
+        self._seq = 0
+        self.events_processed = 0

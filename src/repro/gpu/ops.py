@@ -1,0 +1,125 @@
+"""Warp-level operations yielded by kernel generators.
+
+A kernel is a Python generator over a :class:`~repro.gpu.warp.WarpCtx`;
+every ``yield`` hands one of these operations to the SM, which simulates
+its timing and (for loads, acquires, atomics) sends the result back into
+the generator.
+
+Addresses and values are per-lane numpy arrays; ``mask`` selects the
+active lanes (SIMT predication).  Scalar ops (``PAcq``/``PRel``) take a
+single address because in every paper workload a single leader lane
+performs the release/acquire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.config import Scope
+
+
+def _as_array(values: Sequence[int] | np.ndarray | int, lanes: int) -> np.ndarray:
+    if np.isscalar(values):
+        return np.full(lanes, values, dtype=np.int64)
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.shape != (lanes,):
+        raise ValueError(f"expected {lanes} lane values, got shape {arr.shape}")
+    return arr
+
+
+def _as_mask(mask: Optional[Sequence[bool]], lanes: int) -> np.ndarray:
+    if mask is None:
+        return np.ones(lanes, dtype=bool)
+    arr = np.asarray(mask, dtype=bool)
+    if arr.shape != (lanes,):
+        raise ValueError(f"expected {lanes} mask lanes, got shape {arr.shape}")
+    return arr
+
+
+@dataclass
+class Op:
+    """Base class of all warp-level operations."""
+
+
+@dataclass
+class Compute(Op):
+    """Pure ALU work costing a fixed number of cycles."""
+
+    cycles: int = 4
+
+
+@dataclass
+class Ld(Op):
+    """Per-lane loads; the SM sends back an int64 array of lane values."""
+
+    addrs: np.ndarray
+    mask: np.ndarray
+
+
+@dataclass
+class St(Op):
+    """Per-lane stores (volatile or PM, decided per address)."""
+
+    addrs: np.ndarray
+    values: np.ndarray
+    mask: np.ndarray
+
+
+@dataclass
+class AtomicAdd(Op):
+    """Per-lane atomic fetch-and-add performed at the L2 point of
+    coherence; returns the per-lane old values."""
+
+    addrs: np.ndarray
+    values: np.ndarray
+    mask: np.ndarray
+
+
+@dataclass
+class OFence(Op):
+    """SBRP ordering fence: intra-thread PMO, buffered (Box 2)."""
+
+
+@dataclass
+class DFence(Op):
+    """SBRP durability fence: stalls until prior persists are durable."""
+
+
+@dataclass
+class PAcq(Op):
+    """Scoped persist acquire on one flag word; returns its value."""
+
+    addr: int
+    scope: Scope
+
+
+@dataclass
+class PRel(Op):
+    """Scoped persist release: publish *value* at *addr* once ordering
+    obligations are met."""
+
+    addr: int
+    value: int
+    scope: Scope
+
+
+@dataclass
+class ThreadFence(Op):
+    """Classic CUDA ``__threadfence`` family; affects volatile *and*
+    persistent writes (Section 5.2).  GPM's epoch barrier is the
+    system-scoped flavour."""
+
+    scope: Scope = Scope.DEVICE
+
+
+@dataclass
+class BlockBarrier(Op):
+    """``__syncthreads()``: all warps of the threadblock rendezvous."""
+
+
+@dataclass
+class KernelEnd(Op):
+    """Internal: injected by the SM when a warp's generator finishes."""

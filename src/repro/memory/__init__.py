@@ -1,0 +1,41 @@
+"""The memory substrate: address space, value images, caches, devices.
+
+Layout of the simulated physical address space::
+
+    [0, PM_BASE)        volatile global memory (GDDR-backed)
+    [PM_BASE, ...)      persistent memory (NVM-backed)
+
+Functional values live in two images (:class:`BackingStore`):
+
+* the *visible* image — what the globally shared L2/memory returns, and
+* the *durable* image — what survives a crash; it is updated only when a
+  persist is accepted by an ADR memory controller.
+
+Per-SM L1 caches additionally hold line-local values for PM data, which
+is what makes cross-SM stale reads (and hence scoped persistency bugs,
+Section 5.3 of the paper) observable in this simulator.
+"""
+
+from repro.memory.address_space import PM_BASE, AddressSpace, Allocation
+from repro.memory.backing import WORD_SIZE, BackingStore
+from repro.memory.cache import CacheLine, L1Cache, TagCache
+from repro.memory.devices import BandwidthChannel, NVMController, WriteAck
+from repro.memory.namespace import NamespaceTable, PMPool
+from repro.memory.subsystem import MemorySubsystem
+
+__all__ = [
+    "PM_BASE",
+    "WORD_SIZE",
+    "AddressSpace",
+    "Allocation",
+    "BackingStore",
+    "BandwidthChannel",
+    "CacheLine",
+    "L1Cache",
+    "MemorySubsystem",
+    "NVMController",
+    "NamespaceTable",
+    "PMPool",
+    "TagCache",
+    "WriteAck",
+]

@@ -1,0 +1,120 @@
+"""Persistent naming of PM regions (the paper's Section 3 software model).
+
+On **PM-near** systems the GPU driver keeps a *namespace table* mapping
+names of allocated contiguous PM regions to their physical placement;
+after a crash, a program re-opens its data structures by name.  On
+**PM-far** systems, GPM allocates memory out of files on PM; we model the
+same open/create/close discipline with :class:`PMPool`.
+
+Both sit on top of :class:`~repro.memory.address_space.AddressSpace`; the
+crash/recovery harness carries the table across simulated power cycles
+(it is driver-managed metadata, persistent by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import MemoryError_
+from repro.memory.address_space import AddressSpace, Allocation
+
+
+@dataclass(frozen=True)
+class NamespaceEntry:
+    """One row of the persistent namespace table."""
+
+    name: str
+    base: int
+    size: int
+
+
+class NamespaceTable:
+    """Driver-managed mapping of PM region names to addresses.
+
+    The table itself is persistent: :meth:`export` / :meth:`restore` move
+    it across simulated power cycles.
+    """
+
+    def __init__(self, space: AddressSpace) -> None:
+        self._space = space
+        self._entries: Dict[str, NamespaceEntry] = {}
+
+    def create(self, name: str, size: int) -> Allocation:
+        """Allocate and register a new named PM region."""
+        if name in self._entries:
+            raise MemoryError_(f"PM region {name!r} already exists")
+        allocation = self._space.alloc(size, persistent=True, name=name)
+        self._entries[name] = NamespaceEntry(name, allocation.base, allocation.size)
+        return allocation
+
+    def open(self, name: str) -> Allocation:
+        """Re-open an existing region after a crash (the recovery path)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise MemoryError_(f"no PM region named {name!r}")
+        return Allocation(entry.base, entry.size, persistent=True, name=name)
+
+    def exists(self, name: str) -> bool:
+        return name in self._entries
+
+    def delete(self, name: str) -> None:
+        entry = self._entries.pop(name, None)
+        if entry is None:
+            raise MemoryError_(f"no PM region named {name!r}")
+
+    def export(self) -> Dict[str, NamespaceEntry]:
+        """Snapshot for carrying across a power cycle."""
+        return dict(self._entries)
+
+    def restore(
+        self, entries: Dict[str, NamespaceEntry], space: AddressSpace
+    ) -> None:
+        """Install a snapshot into a freshly booted system.
+
+        The address space's PM bump pointer is advanced past every
+        restored region so new allocations never alias recovered data.
+        """
+        self._space = space
+        self._entries = dict(entries)
+        for entry in entries.values():
+            end = entry.base + entry.size
+            if space._pm_top < end:  # noqa: SLF001 - driver-level poke
+                space._pm_top = end
+
+
+class PMPool:
+    """File-backed PM pool for PM-far systems (GPM-style).
+
+    A pool must be opened before its regions are handed to kernels; the
+    open/close state mimics the file mapping discipline of GPM without
+    modelling an actual filesystem.
+    """
+
+    def __init__(self, table: NamespaceTable) -> None:
+        self._table = table
+        self._open: Dict[str, Allocation] = {}
+
+    def create(self, name: str, size: int) -> Allocation:
+        allocation = self._table.create(name, size)
+        self._open[name] = allocation
+        return allocation
+
+    def open(self, name: str) -> Allocation:
+        allocation = self._table.open(name)
+        self._open[name] = allocation
+        return allocation
+
+    def close(self, name: str) -> None:
+        if name not in self._open:
+            raise MemoryError_(f"pool {name!r} is not open")
+        del self._open[name]
+
+    def get(self, name: str) -> Allocation:
+        allocation = self._open.get(name)
+        if allocation is None:
+            raise MemoryError_(f"pool {name!r} is not open")
+        return allocation
+
+    def is_open(self, name: str) -> bool:
+        return name in self._open

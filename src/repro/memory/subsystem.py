@@ -1,0 +1,212 @@
+"""The memory subsystem: routes line transactions to devices.
+
+One instance per simulated system.  It owns the shared L2 tag cache, the
+GDDR channels, the NVM controllers (with ADR WPQs), and — on PM-far
+systems — the PCIe link.  All methods are time calculators (they return
+completion times); the GPU layer schedules wake-ups off those times.
+
+Persists are additionally recorded in an append-only :class:`PersistLog`
+whose entries carry the durability (acceptance) time, so a crash at any
+instant yields a well-defined durable PM image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.common.config import GPUConfig, MemoryConfig, PMPlacement
+from repro.common.stats import StatsRegistry
+from repro.common.units import gbps_to_bytes_per_cycle
+from repro.memory.backing import BackingStore
+from repro.memory.cache import TagCache
+from repro.memory.devices import BandwidthChannel, NVMController, WriteAck
+
+
+@dataclass(frozen=True)
+class PersistRecord:
+    """One persist accepted by the persistence domain."""
+
+    seq: int
+    sm_id: int
+    line_addr: int
+    words: Mapping[int, int]
+    accept_time: float
+
+
+class PersistLog:
+    """Append-only log of accepted persists, ordered by issue sequence."""
+
+    def __init__(self) -> None:
+        self._records: List[PersistRecord] = []
+
+    def append(self, record: PersistRecord) -> None:
+        self._records.append(record)
+
+    def records(self) -> List[PersistRecord]:
+        return list(self._records)
+
+    def image_at(self, time: float) -> Dict[int, int]:
+        """Durable PM image after a crash at *time*: every persist whose
+        WPQ acceptance happened by then, applied in acceptance order."""
+        image: Dict[int, int] = {}
+        accepted = [r for r in self._records if r.accept_time <= time]
+        accepted.sort(key=lambda r: (r.accept_time, r.seq))
+        for record in accepted:
+            image.update(record.words)
+        return image
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class MemorySubsystem:
+    """Shared L2 + device routing for one simulated system."""
+
+    def __init__(
+        self,
+        memory: MemoryConfig,
+        gpu: GPUConfig,
+        backing: BackingStore,
+        stats: StatsRegistry,
+    ) -> None:
+        self.config = memory
+        self.gpu = gpu
+        self.backing = backing
+        self.stats = stats
+        self.line_size = gpu.line_size
+        self.l2 = TagCache("l2", gpu.l2_size, gpu.line_size, stats=stats)
+
+        parts = memory.num_partitions
+        per_part = 1.0 / parts
+        self.gddr = [
+            BandwidthChannel(
+                f"gddr{i}",
+                memory.gddr_latency,
+                gbps_to_bytes_per_cycle(memory.gddr_bw_gbps) * per_part,
+                stats,
+            )
+            for i in range(parts)
+        ]
+        scale = memory.nvm_bw_scale
+        self.nvm = [
+            NVMController(
+                f"nvm{i}",
+                gbps_to_bytes_per_cycle(memory.nvm_read_bw_gbps * scale) * per_part,
+                gbps_to_bytes_per_cycle(memory.nvm_write_bw_gbps * scale) * per_part,
+                memory.nvm_latency,
+                memory.wpq_entries,
+                stats,
+            )
+            for i in range(parts)
+        ]
+        # PCIe is full duplex: independent down (GPU->host) and up
+        # (host->GPU) channels, each at the link bandwidth.
+        self.pcie_down = BandwidthChannel(
+            "pcie",
+            memory.pcie_latency,
+            gbps_to_bytes_per_cycle(memory.pcie_bw_gbps),
+            stats,
+        )
+        self.pcie_up = BandwidthChannel(
+            "pcie_up",
+            memory.pcie_latency,
+            gbps_to_bytes_per_cycle(memory.pcie_bw_gbps),
+            stats,
+        )
+        self.persist_log = PersistLog()
+        self._persist_seq = 0
+
+    # ------------------------------------------------------------------
+    # routing helpers
+    # ------------------------------------------------------------------
+    def _partition(self, line_addr: int) -> int:
+        return (line_addr // self.line_size) % self.config.num_partitions
+
+    @property
+    def _far(self) -> bool:
+        return self.config.placement is PMPlacement.FAR
+
+    # ------------------------------------------------------------------
+    # read path (L1 miss fills)
+    # ------------------------------------------------------------------
+    def fetch_line(self, now: float, line_addr: int, is_pm: bool) -> float:
+        """Time at which a missing line's data arrives at the SM."""
+        kind = "pm" if is_pm else "vol"
+        after_l2 = now + self.gpu.l2_latency
+        if self.l2.access(line_addr, now):
+            self.stats.add(f"l2.read_hit_{kind}")
+            return after_l2
+        self.stats.add(f"l2.read_miss_{kind}")
+        part = self._partition(line_addr)
+        if not is_pm:
+            return self.gddr[part].transfer(after_l2, self.line_size)
+        if self._far:
+            at_host = self.pcie_down.transfer(after_l2, self.line_size)
+            at_nvm = self.nvm[part].read(at_host, self.line_size)
+            return self.pcie_up.transfer(at_nvm, self.line_size)
+        return self.nvm[part].read(after_l2, self.line_size)
+
+    # ------------------------------------------------------------------
+    # volatile write-through
+    # ------------------------------------------------------------------
+    def write_volatile(self, now: float, line_addr: int, nbytes: int) -> float:
+        """Timing of a write-through volatile store (fire-and-forget)."""
+        after_l2 = now + self.gpu.l2_latency
+        if self.l2.access(line_addr, now):
+            self.stats.add("l2.write_hit_vol")
+            return after_l2
+        self.stats.add("l2.write_miss_vol")
+        part = self._partition(line_addr)
+        return self.gddr[part].transfer(after_l2, nbytes)
+
+    # ------------------------------------------------------------------
+    # persist path
+    # ------------------------------------------------------------------
+    def persist_line(
+        self,
+        now: float,
+        sm_id: int,
+        line_addr: int,
+        words: Mapping[int, int],
+    ) -> WriteAck:
+        """Send one dirty PM line toward the persistence domain.
+
+        Returns the acceptance (durability) time and the time at which
+        the acknowledgement reaches the issuing SM.  Persists write
+        through the shared L2 (the paper keeps no L2 persist buffer).
+        """
+        nbytes = self.line_size
+        after_l2 = now + self.gpu.l2_latency
+        self.l2.access(line_addr, now)
+        part = self._partition(line_addr)
+        if self._far:
+            at_host = self.pcie_down.transfer(after_l2, nbytes)
+            if self.config.eadr:
+                # eADR: durable once resident in the battery-backed host
+                # LLC; the NVM write drains in the background.
+                accept = at_host
+                self.nvm[part].write(at_host, nbytes)
+            else:
+                accept = self.nvm[part].write(at_host, nbytes)
+            ack = accept + self.config.pcie_latency
+        else:
+            accept = self.nvm[part].write(after_l2, nbytes)
+            ack = accept + self.gpu.l2_latency
+        self._persist_seq += 1
+        self.persist_log.append(
+            PersistRecord(self._persist_seq, sm_id, line_addr, dict(words), accept)
+        )
+        self.stats.add("persist.lines")
+        self.stats.add("persist.bytes", nbytes)
+        return WriteAck(accept_time=accept, ack_time=ack)
+
+    # ------------------------------------------------------------------
+    # crash support
+    # ------------------------------------------------------------------
+    def crash_image(self, time: float) -> Dict[int, int]:
+        """The durable PM image if power fails at *time*: host-initialized
+        durable contents overlaid with every persist accepted by then."""
+        image = dict(self.backing.durable)
+        image.update(self.persist_log.image_at(time))
+        return image

@@ -1,0 +1,20 @@
+"""SBRP: Scoped Buffered Release Persistency (the paper's contribution).
+
+The subpackage mirrors Section 6 of the paper:
+
+* :mod:`~repro.persistency.sbrp.pbuffer` — the per-SM FIFO persist
+  buffer with typed entries and per-entry Warp BM.
+* :mod:`~repro.persistency.sbrp.state` — the per-SM hardware state: the
+  ODM / EDM / FSM masks, the ACTR acknowledgement counter and the
+  waiter bookkeeping that realizes them in the simulator.
+* :mod:`~repro.persistency.sbrp.model` — the
+  :class:`~repro.persistency.base.PersistencyModel` implementation
+  (store coalescing, oFence/dFence, scoped pAcq/pRel, eviction rules,
+  and the eager / lazy / window drain policies of Section 6.2).
+"""
+
+from repro.persistency.sbrp.model import SBRPModel
+from repro.persistency.sbrp.pbuffer import EntryKind, PBEntry, PersistBuffer
+from repro.persistency.sbrp.state import SBRPState
+
+__all__ = ["EntryKind", "PBEntry", "PersistBuffer", "SBRPModel", "SBRPState"]

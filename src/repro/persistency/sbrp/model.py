@@ -1,0 +1,468 @@
+"""The SBRP persistency model (Sections 5 and 6 of the paper).
+
+Control flow summary:
+
+* **PM store** — coalesces into the line's live PB entry unless the
+  issuing warp has an ordering point younger than that entry, in which
+  case the warp stalls in the EDM until the entry's flush is
+  acknowledged (Section 6.1, "Persist operation").
+* **oFence** — appends (or coalesces into) an ordering entry; never
+  stalls: buffering is the whole point (Box 2 / Section 6.1).
+* **pAcq / pRel, block scope** — ordering entries in the shared per-SM
+  FIFO; the FIFO position plus the FSM enforce durability order without
+  any NVM round trip — the "scopes" win of Figure 7.
+* **pAcq / pRel, device scope** — pRel stalls its warp (ODM→EDM) while
+  the PB force-drains up to the release; the flag publishes when the
+  ACTR hits zero.  pAcq invalidates clean PM lines to avoid stale reads.
+* **dFence** — like a device-scope release without a flag (Section 5).
+* **Eviction** — bypass-flush when no ordering entry precedes the
+  line's PB entry, else stall in the EDM until outstanding flushes
+  complete (Section 6.1, "Eviction").
+* **Drain** — eager / lazy / window policies (Section 6.2; Figure 10c).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping
+
+from repro.common.bitmask import WarpMask
+from repro.common.config import DrainPolicy, Scope, SystemConfig
+from repro.common.errors import PersistencyError
+from repro.common.stats import StatsRegistry
+from repro.memory.address_space import is_pm_addr
+from repro.memory.cache import CacheLine
+from repro.persistency.base import Outcome, PersistencyModel
+from repro.persistency.sbrp.pbuffer import EntryKind, PBEntry
+from repro.persistency.sbrp.state import ActrZeroAction, SBRPState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.sm import SM
+    from repro.gpu.warp import Warp
+
+#: Fraction of PB occupancy above which the lazy policy starts draining.
+LAZY_PRESSURE = 0.75
+
+
+class SBRPModel(PersistencyModel):
+    """Scoped Buffered Release Persistency."""
+
+    def __init__(self, config: SystemConfig, stats: StatsRegistry) -> None:
+        super().__init__(config, stats)
+        self.states: Dict[int, SBRPState] = {}
+
+    def init_sm(self, sm: "SM") -> None:
+        self.states[sm.sm_id] = SBRPState(
+            sm.sm_id,
+            pb_entries=self.config.sbrp.pb_entries(self.config.gpu),
+            max_warps=self.config.gpu.max_warps_per_sm,
+        )
+
+    # ==================================================================
+    # persist operation
+    # ==================================================================
+    def pm_store(
+        self,
+        sm: "SM",
+        warp: "Warp",
+        line_addr: int,
+        words: Mapping[int, int],
+        now: float,
+    ) -> Outcome:
+        st = self.states[sm.sm_id]
+        bit = st.warp_bit(warp.slot)
+        line = sm.l1.lookup(line_addr, now)
+        if line is not None:
+            if line.dirty and line.pb_index is not None:
+                entry = st.pb.get(line.pb_index)
+                if entry is not None:
+                    if st.coalesce_blocked(warp.slot, entry):
+                        # A later ordering point forbids coalescing; the
+                        # warp waits in the EDM until the old persist is
+                        # acknowledged, then retries with a fresh entry.
+                        st.edm.set(warp.slot)
+                        entry.waiters.append(warp)
+                        st.force_until_seq = max(st.force_until_seq, entry.seq)
+                        self.stats.add("sbrp.edm_stalls")
+                        self._schedule_pump(sm)
+                        return Outcome.blocked()
+                    line.write_words(words)
+                    entry.warp_mask |= bit
+                    self.stats.add("sbrp.stores_coalesced")
+                    self.stats.add("l1.write_hit_pm")
+                    return Outcome.complete(now + 1)
+            self.stats.add("l1.write_hit_pm")
+            return self._attach_persist(sm, st, warp, line, line_addr, words, now)
+        victim = sm.l1.victim_for(line_addr)
+        if victim.valid and victim.dirty and victim.is_pm:
+            outcome = self.evict_dirty_pm(sm, warp, victim, now)
+            if not outcome.done:
+                return outcome
+        sm.l1.fill(victim, line_addr, is_pm=True, now=now)
+        self.stats.add("l1.write_miss_pm")
+        return self._attach_persist(sm, st, warp, victim, line_addr, words, now)
+
+    def _attach_persist(
+        self,
+        sm: "SM",
+        st: SBRPState,
+        warp: "Warp",
+        line: CacheLine,
+        line_addr: int,
+        words: Mapping[int, int],
+        now: float,
+    ) -> Outcome:
+        if st.pb.is_full():
+            return self._stall_for_space(sm, st, warp)
+        entry = st.pb.append(EntryKind.PERSIST, st.warp_bit(warp.slot), line_addr)
+        line.pb_index = entry.seq
+        line.dirty = True
+        line.is_pm = True
+        line.write_words(words)
+        self.stats.add("sbrp.persist_entries")
+        self._schedule_pump(sm)
+        return Outcome.complete(now + 1)
+
+    def _stall_for_space(self, sm: "SM", st: SBRPState, warp: "Warp") -> Outcome:
+        st.space_waiters.append(warp)
+        st.edm.set(warp.slot)
+        self.stats.add("sbrp.pb_full_stalls")
+        self._schedule_pump(sm)
+        return Outcome.blocked()
+
+    # ==================================================================
+    # fences
+    # ==================================================================
+    def ofence(self, sm: "SM", warp: "Warp", now: float) -> Outcome:
+        st = self.states[sm.sm_id]
+        bit = st.warp_bit(warp.slot)
+        tail = st.pb.tail()
+        if tail is not None and tail.kind is EntryKind.OFENCE:
+            # Back-to-back oFences coalesce into one entry (Section 6.1).
+            tail.warp_mask |= bit
+            st.note_order_point(warp.slot, tail)
+            self.stats.add("sbrp.ofence_coalesced")
+            return Outcome.complete(now + 1)
+        if st.pb.is_full():
+            return self._stall_for_space(sm, st, warp)
+        entry = st.pb.append(EntryKind.OFENCE, bit)
+        st.note_order_point(warp.slot, entry)
+        self.stats.add("sbrp.ofences")
+        self._schedule_pump(sm)
+        return Outcome.complete(now + 1)
+
+    def dfence(self, sm: "SM", warp: "Warp", now: float) -> Outcome:
+        st = self.states[sm.sm_id]
+        if st.pb.is_full():
+            return self._stall_for_space(sm, st, warp)
+        bit = st.warp_bit(warp.slot)
+        entry = st.pb.append(EntryKind.DFENCE, bit)
+        entry.waiting_warp = warp
+        st.note_order_point(warp.slot, entry)
+        st.odm.set(warp.slot)
+        st.force_until_seq = max(st.force_until_seq, entry.seq)
+        self.stats.add("sbrp.dfences")
+        self._schedule_pump(sm)
+        return Outcome.blocked()
+
+    def threadfence(self, sm: "SM", warp: "Warp", scope: Scope, now: float) -> Outcome:
+        # Conventional fences order PM writes too (Section 5.2).  Block
+        # scope stays within the SM; wider scopes require durability-like
+        # draining plus invalidation, which dFence provides.
+        if scope is Scope.BLOCK:
+            return self.ofence(sm, warp, now)
+        return self.dfence(sm, warp, now)
+
+    # ==================================================================
+    # scoped acquire / release
+    # ==================================================================
+    def _effective_scope(self, scope: Scope) -> Scope:
+        """Figure 7's ablation: optionally demote block scope to device."""
+        if scope is Scope.BLOCK and self.config.sbrp.demote_block_scope:
+            return Scope.DEVICE
+        return scope
+
+    def pacq(
+        self, sm: "SM", warp: "Warp", addr: int, scope: Scope, value: int, now: float
+    ) -> Outcome:
+        scope = self._effective_scope(scope)
+        if value == 0:
+            return Outcome.complete(now + self.config.gpu.l1_hit_latency)
+        st = self.states[sm.sm_id]
+        if st.pb.is_full():
+            return self._stall_for_space(sm, st, warp)
+        bit = st.warp_bit(warp.slot)
+        entry = st.pb.append(EntryKind.PACQ, bit, scope=scope)
+        st.note_order_point(warp.slot, entry)
+        self._schedule_pump(sm)
+        if scope is Scope.BLOCK:
+            self.stats.add("sbrp.pacq_block")
+            return Outcome.complete(now + self.config.gpu.l1_hit_latency)
+        # Device scope: drop clean PM lines so later reads see other
+        # threadblocks' released data.
+        sm.l1.invalidate_clean_pm()
+        self.stats.add("sbrp.pacq_device")
+        return Outcome.complete(now + self.config.gpu.l2_latency)
+
+    def prel(
+        self, sm: "SM", warp: "Warp", addr: int, value: int, scope: Scope, now: float
+    ) -> Outcome:
+        scope = self._effective_scope(scope)
+        st = self.states[sm.sm_id]
+        if st.pb.is_full():
+            return self._stall_for_space(sm, st, warp)
+        bit = st.warp_bit(warp.slot)
+        entry = st.pb.append(
+            EntryKind.PREL, bit, scope=scope, flag_addr=addr, flag_value=value
+        )
+        st.note_order_point(warp.slot, entry)
+        if scope is Scope.BLOCK:
+            # Buffered release: the FIFO + FSM enforce the durability
+            # order, so the flag publishes immediately and the warp
+            # never leaves the SM — the key scope win.
+            self._publish(sm, addr, value, now)
+            self.stats.add("sbrp.prel_block")
+            self._schedule_pump(sm)
+            return Outcome.complete(now + 2)
+        entry.waiting_warp = warp
+        st.odm.set(warp.slot)
+        st.force_until_seq = max(st.force_until_seq, entry.seq)
+        self.stats.add("sbrp.prel_device")
+        self._schedule_pump(sm)
+        return Outcome.blocked()
+
+    def _publish(self, sm: "SM", addr: int, value: int, now: float) -> None:
+        self.publish_flag(sm, addr, value)
+        if is_pm_addr(addr):
+            # A PM-resident release variable is itself a persist.
+            line_addr = addr - addr % sm.line_size
+            sm.subsystem.persist_line(now, sm.sm_id, line_addr, {addr: value})
+
+    # ==================================================================
+    # eviction
+    # ==================================================================
+    def evict_dirty_pm(
+        self, sm: "SM", warp: "Warp", line: CacheLine, now: float
+    ) -> Outcome:
+        st = self.states[sm.sm_id]
+        entry = st.pb.get(line.pb_index) if line.pb_index is not None else None
+        if entry is None:
+            # Defensive: a dirty PM line should always have a live entry.
+            self.flush_line(sm, line, now)
+            line.reset()
+            return Outcome.complete(now + 1)
+        # The bypass is illegal when an ordering entry precedes the
+        # victim's entry in the PB, or when the victim's warp has
+        # unacknowledged ordered-before persists in flight (FSM hit):
+        # acceptance order across memory partitions is not global, so an
+        # early flush could become durable before its predecessors.
+        if st.pb.order_entry_before(entry.seq) or (
+            entry.warp_mask & st.fsm.bits and st.actr > 0
+        ):
+            st.edm.set(warp.slot)
+            st.actr_zero_waiters.append(warp)
+            st.force_until_seq = max(st.force_until_seq, entry.seq)
+            self.stats.add("sbrp.evict_stalls")
+            self._schedule_pump(sm)
+            return Outcome.blocked()
+        # No ordering entry precedes it: flush out of FIFO order.
+        st.pb.tombstone(entry)
+        ack = self.flush_line(sm, line, now)
+        line.reset()
+        st.add_inflight(ack.ack_time)
+        st.sends_pending += 1
+        self._schedule_ack(sm, st, ack.accept_time, ack.ack_time, entry.waiters)
+        self.stats.add("sbrp.evict_bypass")
+        self._wake_space_waiters(sm, st, now)
+        return Outcome.complete(now + 1)
+
+    # ==================================================================
+    # the drain pump
+    # ==================================================================
+    def _schedule_pump(self, sm: "SM") -> None:
+        st = self.states[sm.sm_id]
+        if st.pump_scheduled:
+            return
+        st.pump_scheduled = True
+        sm.engine.schedule(sm.engine.now, lambda t: self._pump(sm, t))
+
+    def _pump(self, sm: "SM", now: float) -> None:
+        """Drain pass: scan the PB in order, flushing every persist whose
+        warp has no pending ordering obligation and retiring ordering
+        points whose predecessors have flushed.
+
+        A persist is *delayed* (not flushed) when its Warp BM overlaps
+        the FSM (an unacknowledged flushed line is ordered before it) or
+        overlaps a delayed earlier entry.  Crucially, the scan continues
+        past delayed entries: unrelated warps' persists keep flowing —
+        the paper's stated purpose for the FSM ("avoid false ordering
+        amongst persists from different warps").
+        """
+        st = self.states[sm.sm_id]
+        st.pump_scheduled = False
+        if st.actr == 0:
+            st.fsm.reset()
+        hold = 0  # warps with a delayed earlier entry in this pass
+        for entry in list(st.pb.entries()):
+            if entry.kind is EntryKind.PERSIST:
+                if entry.warp_mask & (st.fsm.bits | hold):
+                    hold |= entry.warp_mask
+                    continue
+                if not self._policy_allows(st, entry):
+                    break  # drain-rate budget exhausted for this pass
+                st.pb.remove(entry)
+                self._flush_entry(sm, st, entry, now)
+            else:
+                if entry.warp_mask & hold:
+                    # An earlier persist of this warp is still delayed;
+                    # the ordering point cannot retire yet.
+                    hold |= entry.warp_mask
+                    continue
+                st.pb.remove(entry)
+                self._order_point_at_head(sm, st, entry, now)
+            self._wake_space_waiters(sm, st, now)
+        if st.actr == 0:
+            st.fsm.reset()
+            self._resolve_actr_zero(sm, st, now)
+
+    def _order_point_at_head(
+        self, sm: "SM", st: SBRPState, entry: PBEntry, now: float
+    ) -> None:
+        mask = WarpMask(st.max_warps, entry.warp_mask)
+        if entry.kind in (EntryKind.OFENCE, EntryKind.PACQ):
+            # The issuing warp's later persists must wait for its earlier
+            # (possibly in-flight) persists: oFence by intra-thread PMO,
+            # pAcq because the matching release's persists may still be
+            # unacknowledged ahead in the FIFO.
+            st.fsm.or_with(mask)
+            return
+        if entry.kind is EntryKind.PREL and entry.scope is Scope.BLOCK:
+            # A release does NOT order the releasing warp's own later
+            # persists (only the acquirer's, via its pAcq entry), so no
+            # FSM bit: this is what keeps per-round release chains from
+            # serializing the whole drain.
+            return
+        st.fsm.or_with(mask)
+        # Device-scope pRel or dFence: ODM -> EDM handoff; the warp
+        # resumes (and the flag publishes) when the ACTR reaches zero.
+        st.odm.clear_mask(mask)
+        st.edm.or_with(mask)
+        action = ActrZeroAction(warp=entry.waiting_warp, effect=None)
+        if entry.kind is EntryKind.PREL and entry.flag_addr is not None:
+            addr, value = entry.flag_addr, entry.flag_value
+            action.effect = lambda t: self._publish(sm, addr, value, t)
+        elif entry.kind is EntryKind.DFENCE:
+            action.effect = lambda t: sm.l1.invalidate_clean_pm()
+        st.actr_zero_actions.append(action)
+
+    def _policy_allows(self, st: SBRPState, head: PBEntry) -> bool:
+        if head.seq <= st.force_until_seq:
+            return True
+        if st.space_waiters:
+            return True
+        policy = self.config.sbrp.drain_policy
+        if policy is DrainPolicy.EAGER:
+            return True
+        if policy is DrainPolicy.WINDOW:
+            return st.sends_pending < self.config.sbrp.window
+        return (
+            st.pb.has_order_entries()
+            or st.pb.live_count() > LAZY_PRESSURE * st.pb.capacity
+        )
+
+    def _flush_entry(
+        self, sm: "SM", st: SBRPState, entry: PBEntry, now: float
+    ) -> None:
+        line = sm.l1.lookup(entry.line_addr, now)
+        if line is None or not line.dirty:
+            for waiter in entry.waiters:
+                st.edm.clear(waiter.slot)
+                sm.wake_warp(waiter, now + 1)
+            return
+        ack = self.flush_line(sm, line, now)
+        # Standard write-back: the drained line stays resident and clean
+        # (only its PB linkage is dropped), preserving the L1 retention
+        # that block-scope PMO buys (Section 7.2's read-miss argument).
+        line.pb_index = None
+        st.add_inflight(ack.ack_time)
+        st.sends_pending += 1
+        self._schedule_ack(sm, st, ack.accept_time, ack.ack_time, entry.waiters)
+        self.stats.add("sbrp.drained_persists")
+
+    def _schedule_ack(
+        self,
+        sm: "SM",
+        st: SBRPState,
+        accept_time: float,
+        ack_time: float,
+        waiters: List["Warp"],
+    ) -> None:
+        generation = st.generation
+
+        def on_accept(t: float) -> None:
+            if generation != st.generation:
+                return
+            st.sends_pending -= 1
+            self._schedule_pump(sm)
+
+        def on_ack(t: float) -> None:
+            if generation != st.generation:
+                return
+            st.retire_ack(ack_time)
+            for waiter in waiters:
+                st.edm.clear(waiter.slot)
+                sm.wake_warp(waiter, t)
+            if st.actr == 0:
+                st.fsm.reset()
+                self._resolve_actr_zero(sm, st, t)
+            self._schedule_pump(sm)
+
+        sm.engine.schedule(accept_time, on_accept)
+        sm.engine.schedule(ack_time, on_ack)
+
+    def _resolve_actr_zero(self, sm: "SM", st: SBRPState, now: float) -> None:
+        actions, st.actr_zero_actions = st.actr_zero_actions, []
+        for action in actions:
+            if action.effect is not None:
+                action.effect(now)
+            if action.warp is not None:
+                st.edm.clear(action.warp.slot)
+                sm.complete_blocked(action.warp, now + 1)
+        waiters, st.actr_zero_waiters = st.actr_zero_waiters, []
+        for waiter in waiters:
+            st.edm.clear(waiter.slot)
+            sm.wake_warp(waiter, now)
+
+    def _wake_space_waiters(self, sm: "SM", st: SBRPState, now: float) -> None:
+        if st.pb.is_full():
+            return
+        waiters, st.space_waiters = st.space_waiters, []
+        for waiter in waiters:
+            st.edm.clear(waiter.slot)
+            sm.wake_warp(waiter, now + 1)
+
+    # ==================================================================
+    # kernel-boundary drain (event-driven: SMs drain concurrently)
+    # ==================================================================
+    def begin_drain(self, sm: "SM", now: float) -> None:
+        st = self.states[sm.sm_id]
+        for entry in st.pb.entries():
+            if entry.waiting_warp is not None:
+                raise PersistencyError(
+                    "kernel-end drain found a waiting ordering entry; a "
+                    "warp was still blocked at kernel end"
+                )
+        st.force_until_seq = float("inf")
+        self._schedule_pump(sm)
+
+    def drained(self, sm: "SM", now: float) -> bool:
+        st = self.states[sm.sm_id]
+        return st.pb.live_count() == 0 and st.actr == 0
+
+    def finish_drain(self, sm: "SM") -> None:
+        """Reset per-SM state for the next kernel launch."""
+        st = self.states[sm.sm_id]
+        st.hard_reset_acks()
+        st.odm.reset()
+        st.edm.reset()
+        st.force_until_seq = 0
+        st.last_order_seq = [0] * st.max_warps

@@ -1,0 +1,179 @@
+"""The per-SM FIFO persist buffer (PB) of Section 6.
+
+Each entry is either a *persist* (pointing at a dirty L1 line) or an
+*ordering point* (oFence / dFence / scoped pAcq / pRel), tagged with a
+Warp BM recording which warp slots issued it.  Entries leave from the
+head in FIFO order; a persist may additionally leave out-of-order via a
+*tombstone* when a capacity eviction is allowed to bypass (no ordering
+entry precedes it).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
+
+from repro.common.config import Scope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.warp import Warp
+
+
+class EntryKind(enum.Enum):
+    PERSIST = "persist"
+    OFENCE = "ofence"
+    DFENCE = "dfence"
+    PACQ = "pacq"
+    PREL = "prel"
+
+    @property
+    def is_order(self) -> bool:
+        return self is not EntryKind.PERSIST
+
+
+@dataclass
+class PBEntry:
+    """One persist-buffer entry (44 bits of real hardware state)."""
+
+    seq: int
+    kind: EntryKind
+    warp_mask: int
+    #: Line address for persists (the hardware stores an L1 line index).
+    line_addr: int = 0
+    scope: Optional[Scope] = None
+    #: Release payload (device-scope pRel publishes on completion).
+    flag_addr: Optional[int] = None
+    flag_value: int = 0
+    #: Set when a capacity eviction flushed this persist out of order.
+    evicted: bool = False
+    #: Warps stalled until this entry is flushed and acknowledged (the
+    #: EDM coalescing-conflict stall of Section 6.1).
+    waiters: List["Warp"] = field(default_factory=list)
+    #: Warp blocked on this entry's completion (device-scope pRel and
+    #: dFence stall their issuer until the ACTR reaches zero).
+    waiting_warp: Optional["Warp"] = None
+
+
+class PersistBuffer:
+    """FIFO of :class:`PBEntry` with live-entry accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._fifo: Deque[PBEntry] = deque()
+        self._by_seq: Dict[int, PBEntry] = {}
+        self._seq = itertools.count(1)
+        self._order_entries = 0
+        self._tombstones = 0
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # occupancy
+    # ------------------------------------------------------------------
+    def live_count(self) -> int:
+        return len(self._fifo) - self._tombstones
+
+    def is_full(self) -> bool:
+        return self.live_count() >= self.capacity
+
+    def has_order_entries(self) -> bool:
+        return self._order_entries > 0
+
+    def __len__(self) -> int:
+        return self.live_count()
+
+    def __bool__(self) -> bool:
+        return self.live_count() > 0
+
+    # ------------------------------------------------------------------
+    # append / lookup
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        kind: EntryKind,
+        warp_mask: int,
+        line_addr: int = 0,
+        scope: Optional[Scope] = None,
+        flag_addr: Optional[int] = None,
+        flag_value: int = 0,
+    ) -> PBEntry:
+        entry = PBEntry(
+            seq=next(self._seq),
+            kind=kind,
+            warp_mask=warp_mask,
+            line_addr=line_addr,
+            scope=scope,
+            flag_addr=flag_addr,
+            flag_value=flag_value,
+        )
+        self._fifo.append(entry)
+        self._by_seq[entry.seq] = entry
+        if kind.is_order:
+            self._order_entries += 1
+        self.peak_occupancy = max(self.peak_occupancy, self.live_count())
+        return entry
+
+    def get(self, seq: int) -> Optional[PBEntry]:
+        """The live entry with sequence number *seq*, if any."""
+        return self._by_seq.get(seq)
+
+    def tail(self) -> Optional[PBEntry]:
+        """The youngest live entry (for oFence coalescing)."""
+        for entry in reversed(self._fifo):
+            if not entry.evicted:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # removal
+    # ------------------------------------------------------------------
+    def head(self) -> Optional[PBEntry]:
+        """The oldest live entry, discarding leading tombstones."""
+        while self._fifo and self._fifo[0].evicted:
+            tomb = self._fifo.popleft()
+            self._by_seq.pop(tomb.seq, None)
+            self._tombstones -= 1
+        return self._fifo[0] if self._fifo else None
+
+    def pop_head(self) -> PBEntry:
+        entry = self.head()
+        if entry is None:
+            raise IndexError("pop from empty persist buffer")
+        self._fifo.popleft()
+        self._by_seq.pop(entry.seq, None)
+        if entry.kind.is_order:
+            self._order_entries -= 1
+        return entry
+
+    def remove(self, entry: PBEntry) -> None:
+        """Retire an entry in place (the drain scan removes entries from
+        anywhere; physical deque cleanup happens lazily at the head)."""
+        if entry.evicted:
+            raise ValueError(f"entry {entry.seq} already removed")
+        entry.evicted = True
+        self._tombstones += 1
+        self._by_seq.pop(entry.seq, None)
+        if entry.kind.is_order:
+            self._order_entries -= 1
+
+    def tombstone(self, entry: PBEntry) -> None:
+        """Flush a persist out of FIFO order (allowed eviction bypass)."""
+        if entry.kind is not EntryKind.PERSIST:
+            raise ValueError("only persists can be tombstoned")
+        self.remove(entry)
+
+    def order_entry_before(self, seq: int) -> bool:
+        """True when a live ordering entry precedes *seq* in the FIFO
+        (the paper's eviction-legality check)."""
+        for entry in self._fifo:
+            if entry.seq >= seq:
+                break
+            if not entry.evicted and entry.kind.is_order:
+                return True
+        return False
+
+    def entries(self) -> List[PBEntry]:
+        """Live entries in FIFO order (debug / test aid)."""
+        return [entry for entry in self._fifo if not entry.evicted]

@@ -1,0 +1,182 @@
+"""Public facade: a GPU + NVM system you can allocate on, launch kernels
+on, crash, and reboot.
+
+Typical use::
+
+    from repro import GPUSystem, small_system, ModelName
+
+    sys = GPUSystem(small_system(ModelName.SBRP))
+    data = sys.pm_create("my-data", 4096)
+    result = sys.launch(my_kernel, grid_blocks=4, args=(data,))
+    image = sys.crash()                    # power failure "now"
+    sys2 = GPUSystem.reboot(sys, image)    # fresh machine, durable PM
+    recovered = sys2.pm_open("my-data")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsRegistry
+from repro.memory.address_space import AddressSpace, Allocation
+from repro.memory.namespace import NamespaceEntry, NamespaceTable
+from repro.gpu.device import GPU, KernelResult
+
+
+@dataclass(frozen=True)
+class CrashImage:
+    """Everything that survives a power failure."""
+
+    time: float
+    pm: Dict[int, int]
+    namespace: Dict[str, NamespaceEntry]
+
+
+class GPUSystem:
+    """One simulated machine: GPU, memory system, persistency model."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        pm_image: Optional[CrashImage] = None,
+        max_cycles: float = 2e9,
+    ) -> None:
+        self.config = config.validate()
+        self.stats = StatsRegistry()
+        self.space = AddressSpace(alignment=config.gpu.line_size)
+        self.namespace = NamespaceTable(self.space)
+        self.gpu = GPU(config, stats=self.stats, max_cycles=max_cycles)
+        self.kernel_results: List[KernelResult] = []
+        if pm_image is not None:
+            self.gpu.backing.load_pm_image(pm_image.pm)
+            self.namespace.restore(pm_image.namespace, self.space)
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+    def malloc(self, size: int) -> Allocation:
+        """Allocate volatile (GDDR-backed) memory."""
+        return self.space.alloc(size, persistent=False)
+
+    def pm_create(self, name: str, size: int) -> Allocation:
+        """Allocate a new named PM region."""
+        return self.namespace.create(name, size)
+
+    def pm_open(self, name: str) -> Allocation:
+        """Re-open a named PM region (after a reboot)."""
+        return self.namespace.open(name)
+
+    def pm_exists(self, name: str) -> bool:
+        return self.namespace.exists(name)
+
+    # ------------------------------------------------------------------
+    # host-side data movement (CPU writes are immediately durable for
+    # PM: the host flushes its own stores before launching kernels)
+    # ------------------------------------------------------------------
+    def host_write(self, addr: int, value: int) -> None:
+        from repro.memory.address_space import is_pm_addr
+
+        self.gpu.backing.write(addr, value)
+        if is_pm_addr(addr):
+            self.gpu.backing.durable[addr] = int(value)
+
+    def host_write_words(self, alloc: Allocation, values: Sequence[int]) -> None:
+        """memcpy host->device of 4-byte words from region start."""
+        for index, value in enumerate(values):
+            addr = alloc.word(index)
+            self.gpu.backing.write(addr, int(value))
+            if alloc.persistent:
+                self.gpu.backing.durable[addr] = int(value)
+
+    def host_fill(self, alloc: Allocation, value: int) -> None:
+        """memset of every word of the region."""
+        self.host_write_words(alloc, [value] * (alloc.size // 4))
+
+    def read_word(self, addr: int) -> int:
+        """Read the (globally visible) value of one word."""
+        return self.gpu.backing.read(addr)
+
+    def read_words(self, alloc: Allocation, count: Optional[int] = None) -> np.ndarray:
+        n = count if count is not None else alloc.size // 4
+        return np.array(
+            [self.gpu.backing.read(alloc.word(i)) for i in range(n)], dtype=np.int64
+        )
+
+    def durable_words(
+        self, alloc: Allocation, count: Optional[int] = None
+    ) -> np.ndarray:
+        """Read the *durable* (crash-surviving) value of the region."""
+        n = count if count is not None else alloc.size // 4
+        image = self.gpu.subsystem.crash_image(self.now)
+        return np.array([image.get(alloc.word(i), 0) for i in range(n)], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel,
+        grid_blocks: int,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        name: Optional[str] = None,
+        drain: bool = False,
+    ) -> KernelResult:
+        result = self.gpu.launch(kernel, grid_blocks, args, kwargs, name, drain)
+        self.kernel_results.append(result)
+        return result
+
+    def sync(self) -> float:
+        """Drain all buffered persists (host synchronize-and-persist)."""
+        return self.gpu.sync()
+
+    @property
+    def now(self) -> float:
+        return self.gpu.engine.now
+
+    def total_cycles(self) -> float:
+        return sum(r.cycles for r in self.kernel_results)
+
+    # ------------------------------------------------------------------
+    # crash / reboot
+    # ------------------------------------------------------------------
+    def crash(self, at: Optional[float] = None) -> CrashImage:
+        """Snapshot the durable PM image as of time *at* (default: now).
+
+        Crashing at a past instant is allowed — the persist log records
+        when every persist became durable, so any point of the finished
+        execution can be examined.
+        """
+        time = self.now if at is None else at
+        if time > self.now:
+            raise SimulationError(
+                f"cannot crash at t={time}: simulation only reached {self.now}"
+            )
+        return CrashImage(
+            time=time,
+            pm=self.gpu.subsystem.crash_image(time),
+            namespace=self.namespace.export(),
+        )
+
+    @staticmethod
+    def reboot(
+        previous: "GPUSystem",
+        image: CrashImage,
+        config: Optional[SystemConfig] = None,
+    ) -> "GPUSystem":
+        """Boot a fresh machine with *image* as its PM contents."""
+        return GPUSystem(config or previous.config, pm_image=image)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stat(self, name: str, default: float = 0.0) -> float:
+        return self.stats.get(name, default)
+
+    def __repr__(self) -> str:
+        return f"GPUSystem({self.config.label}, t={self.now:.0f})"

@@ -1,0 +1,127 @@
+"""App-specific edge cases and parameter validation."""
+
+import numpy as np
+import pytest
+
+from repro import GPUSystem, ModelName, small_system
+from repro.apps import build_app
+from repro.apps.common import SEAL
+from repro.common.errors import RecoveryError
+
+
+@pytest.fixture
+def system():
+    return GPUSystem(small_system(ModelName.SBRP))
+
+
+class TestParameterValidation:
+    def test_gpkvs_capacity_bound(self):
+        with pytest.raises(ValueError):
+            build_app("gpkvs", n_pairs=100, capacity=50)
+
+    def test_gpkvs_rounds_divisibility(self):
+        with pytest.raises(ValueError):
+            build_app("gpkvs", n_pairs=100, capacity=200, rounds=3)
+
+    def test_hashmap_bounds(self):
+        with pytest.raises(ValueError):
+            build_app("hashmap", n_inserts=100, capacity=50)
+
+
+class TestCheckersCatchCorruption:
+    """The consistency checkers must actually detect broken state - they
+    guard every crash test, so they get tested themselves."""
+
+    def test_gpkvs_detects_torn_pair(self, system):
+        app = build_app("gpkvs", n_pairs=64, capacity=128, rounds=2)
+        app.setup(system)
+        app.run(system)
+        system.sync()
+        # Corrupt: new key with old value (a torn pair).
+        system.host_write(app.tbl_val.word(3), 3 * 3 + 1)
+        with pytest.raises(RecoveryError, match="torn"):
+            app.check(system, complete=True)
+
+    def test_multiqueue_detects_unaligned_tail(self, system):
+        app = build_app("multiqueue", batches=2, blocks=2)
+        app.setup(system)
+        app.run(system)
+        system.sync()
+        system.host_write(app._tail_word(0), 13)
+        with pytest.raises(RecoveryError, match="aligned"):
+            app.check(system, complete=True)
+
+    def test_reduction_detects_wrong_partial(self, system):
+        app = build_app("reduction", blocks=2, per_thread=2)
+        app.setup(system)
+        app.run(system)
+        system.sync()
+        system.host_write(app.parr.word(0), 999999)
+        with pytest.raises(RecoveryError, match="partial"):
+            app.check(system, complete=True)
+
+    def test_srad_detects_pmo_violation(self, system):
+        app = build_app("srad", side=16)
+        app.setup(system)
+        # Pixel persisted without its noise value: forbidden by PMO.
+        ref_pixels = app.image_pixels()
+        from repro.apps.srad import reference
+
+        _, ref_out = reference(ref_pixels.reshape(16, 16))
+        system.host_write(app.out.word(5), int(ref_out[5]))
+        with pytest.raises(RecoveryError, match="PMO violation"):
+            app.check(system, complete=False)
+
+    def test_scan_detects_wrong_round_value(self, system):
+        app = build_app("scan", blocks=2)
+        app.setup(system)
+        app.run(system)
+        system.sync()
+        system.host_write(app.bufs[1].word(0), 987654)
+        with pytest.raises(RecoveryError, match="round"):
+            app.check(system, complete=True)
+
+    def test_hashmap_detects_missing_displacement(self, system):
+        app = build_app("hashmap", n_inserts=64, capacity=128, rounds=2)
+        app.setup(system)
+        app.run(system)
+        system.sync()
+        # Wipe a displaced pair from table 2 while table 1 shows done.
+        slot2 = (3 * 7 + 3) % 128
+        system.host_write(app.t2_key.word(slot2), 0)
+        with pytest.raises(RecoveryError, match="displaced"):
+            app.check(system, complete=True)
+
+
+class TestLogSealing:
+    def test_gpkvs_recovery_ignores_torn_records(self, system):
+        """A log record with a broken seal must be ignored by recovery
+        (it was never completed, so the table was never touched)."""
+        app = build_app("gpkvs", n_pairs=64, capacity=128, rounds=2)
+        app.setup(system)
+        # Forge a torn record: plausible fields, wrong seal.
+        system.host_write(app.log_key.word(0), 7)
+        system.host_write(app.log_val.word(0), 8)
+        system.host_write(app.log_slot.word(0), 9)
+        system.host_write(app.log_seal.word(0), SEAL)  # wrong checksum
+        app.recover(system)
+        system.sync()
+        # Slot 9 still holds its pristine pair.
+        assert system.read_word(app.tbl_key.word(9)) == 9
+        assert system.read_word(app.tbl_val.word(9)) == 3 * 9 + 1
+
+    def test_gpkvs_recovery_applies_valid_records(self, system):
+        app = build_app("gpkvs", n_pairs=64, capacity=128, rounds=2)
+        app.setup(system)
+        # A valid in-flight record for slot 4, with the table torn.
+        old_k, old_v, slot = 4, 3 * 4 + 1, 4
+        system.host_write(app.log_key.word(0), old_k)
+        system.host_write(app.log_val.word(0), old_v)
+        system.host_write(app.log_slot.word(0), slot)
+        system.host_write(app.log_seal.word(0), old_k ^ old_v ^ slot ^ SEAL)
+        system.host_write(app.tbl_key.word(slot), 4 + 128)  # torn update
+        app.recover(system)
+        system.sync()
+        assert system.read_word(app.tbl_key.word(slot)) == old_k
+        assert system.read_word(app.tbl_val.word(slot)) == old_v
+        assert system.read_word(app.log_seal.word(0)) == 0

@@ -1,0 +1,62 @@
+"""WarpMask semantics (the ODM/EDM/FSM building block)."""
+
+import pytest
+
+from repro.common.bitmask import WarpMask
+
+
+def test_set_test_clear():
+    mask = WarpMask(32)
+    mask.set(5)
+    assert mask.test(5)
+    assert not mask.test(6)
+    mask.clear(5)
+    assert not mask.any()
+
+
+def test_from_warps_and_iteration():
+    mask = WarpMask.from_warps([0, 3, 31])
+    assert list(mask.warps()) == [0, 3, 31]
+    assert mask.count() == 3
+
+
+def test_or_with_accumulates():
+    fsm = WarpMask(32)
+    fsm.or_with(WarpMask.single(1))
+    fsm.or_with(WarpMask.single(7))
+    assert fsm.bits == (1 << 1) | (1 << 7)
+
+
+def test_and_nonzero_detects_overlap():
+    a = WarpMask.from_warps([2, 4])
+    assert a.and_nonzero(WarpMask.single(4))
+    assert not a.and_nonzero(WarpMask.single(5))
+
+
+def test_clear_mask():
+    a = WarpMask.from_warps([1, 2, 3])
+    a.clear_mask(WarpMask.from_warps([2, 3]))
+    assert list(a.warps()) == [1]
+
+
+def test_width_bounds_enforced():
+    mask = WarpMask(8)
+    with pytest.raises(IndexError):
+        mask.set(8)
+    with pytest.raises(ValueError):
+        WarpMask(8, bits=1 << 9)
+
+
+def test_equality_and_copy():
+    a = WarpMask.from_warps([1, 5])
+    b = a.copy()
+    assert a == b
+    b.set(6)
+    assert a != b
+
+
+def test_reset():
+    a = WarpMask.from_warps(range(10))
+    a.reset()
+    assert not a.any()
+    assert a.count() == 0

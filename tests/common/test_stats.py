@@ -1,0 +1,62 @@
+"""StatsRegistry semantics (including the shared-registry gotcha)."""
+
+from repro.common.stats import StatsRegistry
+
+
+def test_add_and_get():
+    stats = StatsRegistry()
+    stats.add("a.b")
+    stats.add("a.b", 2)
+    assert stats.get("a.b") == 3
+    assert stats.get("missing", 9) == 9
+
+
+def test_set_and_peak():
+    stats = StatsRegistry()
+    stats.set("x", 5)
+    stats.peak("x", 3)
+    assert stats.get("x") == 5
+    stats.peak("x", 8)
+    assert stats.get("x") == 8
+
+
+def test_with_prefix():
+    stats = StatsRegistry()
+    stats.add("l1.hit")
+    stats.add("l1.miss", 2)
+    stats.add("l2.hit")
+    assert stats.with_prefix("l1") == {"l1.hit": 1, "l1.miss": 2}
+
+
+def test_merge():
+    a, b = StatsRegistry(), StatsRegistry()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.add("y", 3)
+    a.merge(b)
+    assert a.get("x") == 3 and a.get("y") == 3
+
+
+def test_empty_registry_is_falsy_but_must_not_be_replaced():
+    """Regression: components must use `is not None`, never `or`, when
+    accepting a shared registry - an empty one is falsy."""
+    from repro.memory.cache import L1Cache
+
+    shared = StatsRegistry()
+    cache = L1Cache("l1", 1024, 128, 2, shared)
+    assert cache.stats is shared
+
+
+def test_snapshot_is_immutable_copy():
+    stats = StatsRegistry()
+    stats.add("a")
+    snap = stats.snapshot()
+    stats.add("a")
+    assert snap["a"] == 1
+
+
+def test_iteration_sorted():
+    stats = StatsRegistry()
+    stats.add("b")
+    stats.add("a")
+    assert [k for k, _ in stats] == ["a", "b"]

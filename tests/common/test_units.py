@@ -1,0 +1,36 @@
+"""Unit conversions against Table 1's numbers."""
+
+import pytest
+
+from repro.common.units import (
+    CLOCK_MHZ,
+    cycles_to_ns,
+    gbps_to_bytes_per_cycle,
+    ns_to_cycles,
+)
+
+
+def test_clock_matches_table1():
+    assert CLOCK_MHZ == 1365
+
+
+def test_ns_round_trip():
+    cycles = ns_to_cycles(300.0)
+    assert cycles == round(300.0 * 1.365)
+    assert cycles_to_ns(cycles) == pytest.approx(300.0, rel=0.01)
+
+
+def test_ns_to_cycles_minimum_one():
+    assert ns_to_cycles(0.0001) == 1
+
+
+def test_gddr_bandwidth_per_cycle():
+    # 336 GB/s at 1365 MHz is ~246 bytes per cycle.
+    assert gbps_to_bytes_per_cycle(336) == pytest.approx(246.2, abs=0.5)
+
+
+def test_nvm_write_bandwidth_is_eighth_of_gddr():
+    # The paper posits NVM write bandwidth ~1/8th of GDDR.
+    gddr = gbps_to_bytes_per_cycle(336)
+    nvm = gbps_to_bytes_per_cycle(42)
+    assert gddr / nvm == pytest.approx(8.0)

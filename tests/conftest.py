@@ -1,0 +1,35 @@
+"""Shared fixtures: small systems per persistency model."""
+
+import pytest
+
+from repro import GPUSystem, ModelName, PMPlacement, small_system
+
+ALL_MODELS = [ModelName.GPM, ModelName.EPOCH, ModelName.SBRP]
+
+
+@pytest.fixture(params=ALL_MODELS, ids=lambda m: m.value)
+def model(request) -> ModelName:
+    return request.param
+
+
+@pytest.fixture
+def system(model) -> GPUSystem:
+    """A small PM-far system under each persistency model."""
+    return GPUSystem(small_system(model))
+
+
+@pytest.fixture
+def sbrp_system() -> GPUSystem:
+    return GPUSystem(small_system(ModelName.SBRP))
+
+
+@pytest.fixture
+def near_system(model) -> GPUSystem:
+    return GPUSystem(small_system(model, PMPlacement.NEAR))
+
+
+def run_to_end(system: GPUSystem, kernel, blocks=1, args=(), kwargs=None):
+    """Launch, drain, and return the kernel result."""
+    result = system.launch(kernel, blocks, args=args, kwargs=kwargs)
+    system.sync()
+    return result

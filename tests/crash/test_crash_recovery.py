@@ -1,0 +1,98 @@
+"""Crash-recovery round trips: every app, every model, many instants."""
+
+import pytest
+
+from repro import GPUSystem, ModelName, Scope, small_system
+from repro.apps import APPS, build_app
+from repro.crash import CrashHarness
+
+SIZES = {
+    "gpkvs": dict(n_pairs=512, capacity=1024, rounds=2),
+    "hashmap": dict(n_inserts=512, capacity=1024, rounds=2),
+    "srad": dict(side=24),
+    "reduction": dict(blocks=3, per_thread=2),
+    "multiqueue": dict(batches=2, blocks=3),
+    "scan": dict(blocks=3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(APPS))
+class TestCrashSweep:
+    def test_recover_and_complete_from_any_instant(self, name, model):
+        harness = CrashHarness(
+            lambda: build_app(name, **SIZES[name]), small_system(model)
+        )
+        for report in harness.sweep(points=5):
+            assert report.consistent, report.error
+            assert report.completed, report.error
+
+
+class TestHarnessMechanics:
+    def make(self, model=ModelName.SBRP):
+        return CrashHarness(
+            lambda: build_app("gpkvs", **SIZES["gpkvs"]), small_system(model)
+        )
+
+    def test_crash_at_zero_recovers_to_initial_state(self):
+        report = self.make().crash_at(0.0)
+        assert report.consistent and report.completed
+
+    def test_crash_at_end_preserves_all_work(self):
+        harness = self.make()
+        report = harness.crash_at(harness.end_time())
+        assert report.consistent and report.completed
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            self.make().crash_at_fraction(1.5)
+
+    def test_worst_case_recovery_cycles_positive(self):
+        assert self.make().recovery_cycles_at_worst_case() > 0
+
+    def test_baseline_is_cached(self):
+        harness = self.make()
+        first = harness.baseline()
+        assert harness.baseline() is first
+
+
+class TestScopedPersistencyBug:
+    """Section 5.3: using a narrower scope than program semantics needs.
+
+    The producer's pX persist is delayed in its persist buffer behind an
+    earlier fenced persist (FSM).  A *device*-scope release only
+    publishes its flag once pX is durable, so the cross-block consumer
+    always reads 7; a *block*-scope release (the bug) publishes
+    immediately and the consumer reads a stale 0.
+    """
+
+    def run_demo(self, scope: Scope) -> int:
+        system = GPUSystem(small_system(ModelName.SBRP, num_sms=2))
+        pm = system.pm_create("pm", 4096)
+        flag = system.malloc(128)
+        out = system.malloc(128)
+        pa, px = pm.word(0), pm.word(64)
+
+        def kernel(w, pa, px, flag, out, scope):
+            lead = w.lane == 0
+            if w.block_id == 1 and w.warp_in_block == 0:
+                yield w.st(pa, 1, mask=lead)
+                yield w.ofence()
+                yield w.st(px, 7, mask=lead)  # FSM-delayed behind pa's ack
+                yield w.prel(flag, 1, scope)
+            elif w.block_id == 0 and w.warp_in_block == 0:
+                while True:
+                    got = yield w.pacq(flag, Scope.DEVICE)
+                    if got:
+                        break
+                vals = yield w.ld(px, mask=lead)
+                yield w.st(out, vals, mask=lead)
+
+        system.launch(kernel, 2, args=(pa, px, flag.base, out.base, scope))
+        system.sync()
+        return system.read_word(out.base)
+
+    def test_correct_device_scope_sees_the_persist(self):
+        assert self.run_demo(Scope.DEVICE) == 7
+
+    def test_block_scope_bug_reads_stale_data(self):
+        assert self.run_demo(Scope.BLOCK) == 0

@@ -1,0 +1,74 @@
+"""Failure injection beyond single crashes: crash during recovery, and
+randomized crash points (hypothesis)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import GPUSystem, ModelName, small_system
+from repro.apps import build_app
+from repro.common.errors import RecoveryError
+
+PARAMS = dict(n_pairs=256, capacity=512, rounds=2)
+
+
+def fresh_run(model=ModelName.SBRP):
+    system = GPUSystem(small_system(model))
+    app = build_app("gpkvs", **PARAMS)
+    app.setup(system)
+    app.run(system)
+    system.sync()
+    return system, app
+
+
+class TestCrashDuringRecovery:
+    @pytest.mark.parametrize(
+        "model", [ModelName.SBRP, ModelName.EPOCH], ids=lambda m: m.value
+    )
+    def test_double_crash_still_recovers(self, model):
+        """Crash mid-run, then crash again mid-RECOVERY: the recovery
+        kernel's own dFence discipline must make it re-runnable."""
+        system, app = fresh_run(model)
+        image1 = system.crash(at=system.now * 0.4)
+
+        # Boot, start recovery, crash again midway through it.
+        boot1 = GPUSystem(small_system(model), pm_image=image1)
+        app1 = build_app("gpkvs", **PARAMS)
+        app1.reopen(boot1)
+        start = boot1.now
+        app1.recover(boot1)
+        boot1.sync()
+        mid_recovery = start + (boot1.now - start) * 0.5
+        image2 = boot1.crash(at=mid_recovery)
+
+        # Second reboot: recovery must complete from the half-recovered
+        # image and leave a consistent table.
+        boot2 = GPUSystem(small_system(model), pm_image=image2)
+        app2 = build_app("gpkvs", **PARAMS)
+        app2.reopen(boot2)
+        app2.recover(boot2)
+        boot2.sync()
+        app2.check(boot2, complete=False)
+
+        # And the batch still completes.
+        app2.run(boot2)
+        boot2.sync()
+        app2.check(boot2, complete=True)
+
+
+class TestRandomizedCrashPoints:
+    @given(fraction=st.floats(0.0, 1.0))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_any_crash_point_is_recoverable(self, fraction):
+        system, app = fresh_run()
+        image = system.crash(at=system.now * fraction)
+        boot = GPUSystem(small_system(ModelName.SBRP), pm_image=image)
+        app2 = build_app("gpkvs", **PARAMS)
+        app2.reopen(boot)
+        app2.recover(boot)
+        boot.sync()
+        app2.check(boot, complete=False)

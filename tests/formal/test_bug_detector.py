@@ -1,0 +1,48 @@
+"""The Section 5.3 scoped-bug detector."""
+
+import pytest
+
+from repro.common.config import Scope
+from repro.formal.bug_detector import assert_scope_clean, find_scope_bugs
+from repro.formal.events import LitmusProgram
+
+
+def make(scope: Scope, blocks=(0, 1)) -> LitmusProgram:
+    prog = LitmusProgram()
+    prog.thread(block=blocks[0]).w("pX", 1).prel("f", 1, scope)
+    prog.thread(block=blocks[1]).pacq("f", scope).w("pY", 1)
+    return prog
+
+
+def test_block_scope_across_blocks_is_flagged():
+    bugs = find_scope_bugs(make(Scope.BLOCK, blocks=(0, 1)))
+    assert len(bugs) == 1
+    assert "no inter-thread PMO" in bugs[0].reason
+
+
+def test_block_scope_within_block_is_clean():
+    assert find_scope_bugs(make(Scope.BLOCK, blocks=(0, 0))) == []
+
+
+def test_device_scope_across_blocks_is_clean():
+    assert_scope_clean(make(Scope.DEVICE, blocks=(0, 1)))
+
+
+def test_mismatched_scopes_use_narrowest():
+    prog = LitmusProgram()
+    prog.thread(block=0).w("pX", 1).prel("f", 1, Scope.BLOCK)
+    prog.thread(block=1).pacq("f", Scope.DEVICE).w("pY", 1)
+    # Narrowest scope is BLOCK, which does not cover both blocks.
+    assert len(find_scope_bugs(prog)) == 1
+
+
+def test_assert_scope_clean_raises_with_details():
+    with pytest.raises(AssertionError, match="scope bug"):
+        assert_scope_clean(make(Scope.BLOCK, blocks=(0, 1)))
+
+
+def test_same_thread_pairs_ignored():
+    prog = LitmusProgram()
+    t = prog.thread(block=0)
+    t.prel("f", 1, Scope.BLOCK).pacq("f", Scope.BLOCK)
+    assert find_scope_bugs(prog) == []

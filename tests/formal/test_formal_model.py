@@ -1,0 +1,144 @@
+"""The axiomatic model: relations, crash images, litmus library."""
+
+import networkx as nx
+import pytest
+
+from repro.common.config import ModelName, Scope
+from repro.formal import (
+    LITMUS_TESTS,
+    ExecutionWitness,
+    LitmusProgram,
+    allowed_crash_images,
+    build_pmo,
+    build_po,
+    build_vmo,
+    run_litmus,
+)
+from repro.formal.crash_states import downward_closed_subsets
+from repro.formal.bridge import simulate_litmus, validate_against_model
+
+
+def mp_program():
+    prog = LitmusProgram()
+    t0 = prog.thread(block=0)
+    t0.w("pData", 1).ofence().w("pFlag", 1)
+    return prog
+
+
+class TestRelations:
+    def test_po_is_per_thread_chain(self):
+        prog = mp_program()
+        po = build_po(prog)
+        eids = [e.eid for e in prog.threads[0].events]
+        assert list(nx.topological_sort(po)) == eids
+
+    def test_ofence_creates_pmo_edge(self):
+        prog = mp_program()
+        pmo = build_pmo(ExecutionWitness(prog))
+        w_data, _, w_flag = prog.threads[0].events
+        assert pmo.has_edge(w_data.eid, w_flag.eid)
+
+    def test_no_fence_no_pmo(self):
+        prog = LitmusProgram()
+        prog.thread().w("pA", 1).w("pB", 1)
+        pmo = build_pmo(ExecutionWitness(prog))
+        assert pmo.number_of_edges() == 0
+
+    def test_release_acquire_pmo_requires_scope_coverage(self):
+        def build(scope, blocks):
+            prog = LitmusProgram()
+            prog.thread(block=blocks[0]).w("pX", 1).prel("f", 1, scope)
+            prog.thread(block=blocks[1]).pacq("f", scope).w("pY", 1)
+            rel = prog.releases()[0]
+            acq = prog.acquires()[0]
+            return prog, {acq.eid: rel.eid}
+
+        prog, rf = build(Scope.BLOCK, (0, 0))
+        pmo = build_pmo(ExecutionWitness(prog, rf))
+        assert pmo.number_of_edges() == 1
+
+        prog, rf = build(Scope.BLOCK, (0, 1))  # the Section 5.3 bug
+        pmo = build_pmo(ExecutionWitness(prog, rf))
+        assert pmo.number_of_edges() == 0
+
+        prog, rf = build(Scope.DEVICE, (0, 1))
+        pmo = build_pmo(ExecutionWitness(prog, rf))
+        assert pmo.number_of_edges() == 1
+
+    def test_pmo_transitivity(self):
+        prog = LitmusProgram()
+        prog.thread().w("pA", 1).ofence().w("pB", 1).ofence().w("pC", 1)
+        pmo = build_pmo(ExecutionWitness(prog))
+        a, _, b, _, c = prog.threads[0].events
+        assert pmo.has_edge(a.eid, c.eid)
+
+    def test_vmo_contains_release_acquire_edge(self):
+        prog = LitmusProgram()
+        prog.thread(block=0).prel("f", 1, Scope.BLOCK)
+        prog.thread(block=0).pacq("f", Scope.BLOCK)
+        rel, acq = prog.releases()[0], prog.acquires()[0]
+        vmo = build_vmo(ExecutionWitness(prog, {acq.eid: rel.eid}))
+        assert vmo.has_edge(rel.eid, acq.eid)
+
+
+class TestCrashImages:
+    def test_downward_closed_count_for_chain(self):
+        dag = nx.DiGraph([(1, 2), (2, 3)])
+        subsets = downward_closed_subsets(dag)
+        # A 3-chain has exactly 4 order ideals.
+        assert len(subsets) == 4
+
+    def test_downward_closed_count_for_antichain(self):
+        dag = nx.DiGraph()
+        dag.add_nodes_from([1, 2])
+        assert len(downward_closed_subsets(dag)) == 4
+
+    def test_mp_images(self):
+        images = allowed_crash_images(ExecutionWitness(mp_program()))
+        keys = {tuple(sorted(im.items())) for im in images}
+        assert (("pData", 1),) in keys
+        assert (("pData", 1), ("pFlag", 1)) in keys
+        assert (("pFlag", 1),) not in keys  # flag-without-data forbidden
+
+    def test_unfenced_writes_any_subset(self):
+        prog = LitmusProgram()
+        prog.thread().w("pA", 1).w("pB", 1)
+        images = allowed_crash_images(ExecutionWitness(prog))
+        assert len(images) == 4
+
+    def test_completed_dfence_forces_predecessors(self):
+        prog = LitmusProgram()
+        t = prog.thread()
+        t.w("pA", 1).dfence()
+        dfence_eid = t.events[1].eid
+        images = allowed_crash_images(
+            ExecutionWitness(prog), completed_dfences=[dfence_eid]
+        )
+        assert all(im.get("pA") == 1 for im in images)
+
+
+class TestLitmusLibrary:
+    @pytest.mark.parametrize("name", sorted(LITMUS_TESTS))
+    def test_litmus_passes(self, name):
+        result = run_litmus(LITMUS_TESTS[name])
+        assert result.passed, (result.violations, result.missing)
+
+    def test_library_covers_the_papers_examples(self):
+        # Section 5.3's scoped bug and Figure 4's logging discipline
+        # must both be present.
+        assert "scope_mismatch_bug" in LITMUS_TESTS
+        assert "mp_ofence" in LITMUS_TESTS
+
+
+class TestBridge:
+    @pytest.mark.parametrize("name", ["mp_ofence", "block_release_same_block"])
+    @pytest.mark.parametrize(
+        "model", [ModelName.SBRP, ModelName.EPOCH], ids=lambda m: m.value
+    )
+    def test_simulator_refines_model(self, name, model):
+        bad = validate_against_model(LITMUS_TESTS[name], model)
+        assert bad == [], f"simulator produced forbidden images: {bad}"
+
+    def test_simulate_litmus_reaches_final_state(self):
+        images = simulate_litmus(LITMUS_TESTS["mp_ofence"], ModelName.SBRP)
+        assert {"pData": 1, "pFlag": 1} in images

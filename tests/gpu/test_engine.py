@@ -1,0 +1,74 @@
+"""Event engine: ordering, monotonicity, budget."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.gpu.engine import Engine
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, lambda t: seen.append(("b", t)))
+    engine.schedule(5, lambda t: seen.append(("a", t)))
+    engine.run()
+    assert seen == [("a", 5), ("b", 10)]
+
+
+def test_same_time_fifo_order():
+    engine = Engine()
+    seen = []
+    engine.schedule(5, lambda t: seen.append("first"))
+    engine.schedule(5, lambda t: seen.append("second"))
+    engine.run()
+    assert seen == ["first", "second"]
+
+
+def test_past_schedules_clamped_to_now():
+    engine = Engine()
+    seen = []
+
+    def late(t):
+        engine.schedule(t - 100, lambda t2: seen.append(t2))
+
+    engine.schedule(50, late)
+    engine.run()
+    assert seen == [50]
+
+
+def test_clock_never_regresses():
+    engine = Engine()
+    times = []
+    engine.schedule(10, lambda t: times.append(engine.now))
+    engine.schedule(20, lambda t: times.append(engine.now))
+    engine.run()
+    assert times == sorted(times)
+
+
+def test_until_predicate_stops_early():
+    engine = Engine()
+    seen = []
+    engine.schedule(1, lambda t: seen.append(1))
+    engine.schedule(2, lambda t: seen.append(2))
+    engine.run(until=lambda: len(seen) >= 1)
+    assert seen == [1]
+    assert engine.pending() == 1
+
+
+def test_cycle_budget_raises():
+    engine = Engine(max_cycles=100)
+
+    def respawn(t):
+        engine.schedule(t + 60, respawn)
+
+    engine.schedule(0, respawn)
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_schedule_in_relative():
+    engine = Engine()
+    seen = []
+    engine.schedule(5, lambda t: engine.schedule_in(7, lambda t2: seen.append(t2)))
+    engine.run()
+    assert seen == [12]

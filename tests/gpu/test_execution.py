@@ -1,0 +1,180 @@
+"""End-to-end SIMT execution: loads, stores, masks, atomics, barriers,
+multi-block dispatch."""
+
+import numpy as np
+import pytest
+
+from repro import GPUSystem, ModelName, small_system
+from repro.common.errors import SimulationError
+
+from conftest import run_to_end
+
+
+class TestLoadsStores:
+    def test_store_then_load_volatile(self, system):
+        buf = system.malloc(4096)
+
+        def kernel(w, buf):
+            yield w.st(buf.base + 4 * w.tid, w.tid * 3)
+            vals = yield w.ld(buf.base + 4 * w.tid)
+            assert (vals == w.tid * 3).all()
+
+        run_to_end(system, kernel, blocks=2, args=(buf,))
+        got = system.read_words(buf, 64)
+        assert (got == np.arange(64) * 3).all()
+
+    def test_store_then_load_pm(self, system):
+        buf = system.pm_create("b", 4096)
+
+        def kernel(w, buf):
+            yield w.st(buf.base + 4 * w.tid, w.tid + 1)
+            vals = yield w.ld(buf.base + 4 * w.tid)
+            assert (vals == w.tid + 1).all()
+
+        run_to_end(system, kernel, blocks=1, args=(buf,))
+        assert (system.read_words(buf, 32) == np.arange(32) + 1).all()
+
+    def test_masked_store_leaves_inactive_lanes(self, system):
+        buf = system.pm_create("b", 4096)
+
+        def kernel(w, buf):
+            yield w.st(buf.base + 4 * w.tid, 7, mask=w.lane < 8)
+
+        run_to_end(system, kernel, blocks=1, args=(buf,))
+        got = system.read_words(buf, 32)
+        assert (got[:8] == 7).all() and (got[8:] == 0).all()
+
+    def test_pm_stores_become_durable_after_sync(self, system):
+        buf = system.pm_create("b", 4096)
+
+        def kernel(w, buf):
+            yield w.st(buf.base + 4 * w.tid, w.tid + 1)
+
+        run_to_end(system, kernel, blocks=1, args=(buf,))
+        durable = system.durable_words(buf, 32)
+        assert (durable == np.arange(32) + 1).all()
+
+    def test_host_initialized_values_visible_to_kernel(self, system):
+        buf = system.pm_create("b", 4096)
+        system.host_write_words(buf, np.arange(32) + 100)
+
+        out = system.malloc(4096)
+
+        def kernel(w, buf, out):
+            vals = yield w.ld(buf.base + 4 * w.tid)
+            yield w.st(out.base + 4 * w.tid, vals * 2)
+
+        run_to_end(system, kernel, blocks=1, args=(buf, out))
+        assert (system.read_words(out, 32) == (np.arange(32) + 100) * 2).all()
+
+
+class TestAtomics:
+    def test_atomic_add_returns_old_values(self, system):
+        counter = system.malloc(128)
+
+        def kernel(w, counter):
+            olds = yield w.atomic_add(counter.base, 1)
+            # Within one warp the adds serialize: olds are distinct.
+            assert len(set(olds.tolist())) == w.warp_size
+
+        run_to_end(system, kernel, blocks=2, args=(counter,))
+        assert system.read_word(counter.base) == 2 * 128
+
+    def test_atomic_to_pm_rejected(self, sbrp_system):
+        pm = sbrp_system.pm_create("p", 128)
+
+        def kernel(w, pm):
+            yield w.atomic_add(pm.base, 1)
+
+        with pytest.raises(SimulationError):
+            sbrp_system.launch(kernel, 1, args=(pm,))
+
+
+class TestBarriers:
+    def test_block_barrier_synchronizes_warps(self, system):
+        buf = system.malloc(4096)
+
+        def kernel(w, buf):
+            yield w.st(buf.base + 4 * w.tid, w.tid + 1)
+            yield w.sync()
+            # After the barrier every thread sees every other's write.
+            other = (w.tid + 32) % w.nthreads
+            vals = yield w.ld(buf.base + 4 * other)
+            assert (vals == other + 1).all()
+
+        run_to_end(system, kernel, blocks=1, args=(buf,))
+
+
+class TestDispatch:
+    def test_more_blocks_than_sms_runs_in_waves(self, system):
+        blocks = system.config.gpu.num_sms * 2 + 1
+        buf = system.malloc(4 * blocks)
+
+        def kernel(w, buf):
+            yield w.st(buf.base + 4 * w.block_id, w.block_id + 1, mask=w.lane == 0)
+
+        run_to_end(system, kernel, blocks=blocks, args=(buf,))
+        assert (system.read_words(buf, blocks) == np.arange(blocks) + 1).all()
+
+    def test_sequential_launches_share_state(self, system):
+        buf = system.pm_create("b", 4096)
+
+        def writer(w, buf):
+            yield w.st(buf.base + 4 * w.tid, w.tid + 1)
+
+        def doubler(w, buf):
+            vals = yield w.ld(buf.base + 4 * w.tid)
+            yield w.st(buf.base + 4 * w.tid, vals * 2)
+
+        system.launch(writer, 1, args=(buf,))
+        system.launch(doubler, 1, args=(buf,))
+        system.sync()
+        assert (system.read_words(buf, 32) == (np.arange(32) + 1) * 2).all()
+
+    def test_kernel_cycles_accumulate(self, system):
+        def kernel(w):
+            yield w.compute(100)
+
+        first = system.launch(kernel, 1)
+        second = system.launch(kernel, 1)
+        assert second.start >= first.end
+        assert second.cycles > 0
+
+    def test_empty_grid_rejected(self, system):
+        def kernel(w):
+            yield w.compute(1)
+
+        with pytest.raises(SimulationError):
+            system.launch(kernel, 0)
+
+
+class TestStaleness:
+    def test_cross_sm_pm_reads_can_be_stale_under_sbrp(self):
+        """Dirty PM data buffered in one SM's L1 is not visible to
+        another SM until drained - the non-coherence scoped persistency
+        bugs rely on (Section 5.3)."""
+        from repro import DrainPolicy, SBRPConfig
+
+        system = GPUSystem(
+            small_system(
+                ModelName.SBRP,
+                num_sms=2,
+                sbrp=SBRPConfig(drain_policy=DrainPolicy.LAZY),
+            )
+        )
+        pm = system.pm_create("p", 4096)
+        out = system.malloc(128)
+
+        def kernel(w, pm, out):
+            if w.block_id == 0:
+                yield w.st(pm.base, 42, mask=w.lane == 0)
+                yield w.compute(50)
+            else:
+                yield w.compute(200)  # let block 0's store happen first
+                vals = yield w.ld(pm.base, mask=w.lane == 0)
+                yield w.st(out.base, vals, mask=w.lane == 0)
+
+        run_to_end(system, kernel, blocks=2, args=(pm, out))
+        # Block 1 read the globally visible image, which the buffered
+        # store had not reached: it must have seen the stale zero.
+        assert system.read_word(out.base) == 0

@@ -1,0 +1,108 @@
+"""SM internals: wake semantics, spin backoff, coalescing, stats."""
+
+import numpy as np
+import pytest
+
+from repro import GPUSystem, ModelName, Scope, small_system
+
+from conftest import run_to_end
+
+
+class TestSpinBackoff:
+    def test_failed_acquires_are_backed_off(self, sbrp_system):
+        flag = sbrp_system.malloc(128)
+        done = sbrp_system.malloc(128)
+
+        def kernel(w, flag, done):
+            if w.warp_in_block == 0:
+                yield w.compute(500)
+                yield w.prel(flag, 1, Scope.BLOCK)
+            elif w.warp_in_block == 1:
+                while True:
+                    got = yield w.pacq(flag, Scope.BLOCK)
+                    if got:
+                        break
+                yield w.st(done, 1, mask=w.lane == 0)
+
+        run_to_end(sbrp_system, kernel, args=(flag.base, done.base))
+        assert sbrp_system.read_word(done.base) == 1
+        spins = sbrp_system.stat("sm.pacq_spins")
+        # The spinner polled while the producer computed, but backoff
+        # keeps the count bounded (500 cycles / 40-cycle backoff + slack).
+        assert 0 < spins < 50
+
+
+class TestStoreCoalescing:
+    def test_warp_store_coalesces_into_one_line(self, sbrp_system):
+        pm = sbrp_system.pm_create("p", 4096)
+
+        def kernel(w, pm):
+            # 32 lanes x 4B = exactly one 128B line.
+            yield w.st(pm.base + 4 * w.lane, w.lane + 1, mask=w.lane >= 0)
+
+        sbrp_system.launch(kernel, 1, args=(pm,))
+        sbrp_system.sync()
+        # One block has 4 warps all writing the same line: they coalesce
+        # into few persist entries, and far fewer lines than stores.
+        assert sbrp_system.stat("persist.lines") <= 4
+        image = sbrp_system.gpu.subsystem.crash_image(sbrp_system.now)
+        assert image[pm.word(31)] == 32
+
+    def test_unordered_same_line_stores_coalesce_in_pb(self):
+        from repro import DrainPolicy, SBRPConfig
+
+        # Lazy drain keeps the first store's entry live so the second
+        # store to the same line coalesces into it.
+        system = GPUSystem(
+            small_system(
+                ModelName.SBRP, sbrp=SBRPConfig(drain_policy=DrainPolicy.LAZY)
+            )
+        )
+        pm = system.pm_create("p", 4096)
+
+        def kernel(w, pm):
+            if w.warp_in_block != 0:
+                return
+            yield w.st(pm.base, 1, mask=w.lane == 0)
+            yield w.st(pm.base + 4, 2, mask=w.lane == 0)  # same line
+
+        system.launch(kernel, 1, args=(pm,))
+        system.sync()
+        assert system.stat("sbrp.stores_coalesced") >= 1
+        image = system.gpu.subsystem.crash_image(system.now)
+        assert image[pm.word(0)] == 1 and image[pm.word(1)] == 2
+
+
+class TestMaskedEdgeCases:
+    def test_fully_inactive_op_is_a_noop(self, system):
+        pm = system.pm_create("p", 4096)
+
+        def kernel(w, pm):
+            yield w.st(pm.base + 4 * w.lane, 5, mask=w.lane < 0)
+            vals = yield w.ld(pm.base + 4 * w.lane, mask=w.lane < 0)
+            assert (vals == 0).all()
+
+        run_to_end(system, kernel, args=(pm,))
+        assert system.read_word(pm.base) == 0
+
+    def test_divergent_lanes_store_distinct_lines(self, system):
+        pm = system.pm_create("p", 64 * 1024)
+
+        def kernel(w, pm):
+            # Strided addresses: every lane its own line.
+            yield w.st(pm.base + 128 * w.lane, w.lane + 1)
+
+        run_to_end(system, kernel, blocks=1, args=(pm,))
+        got = [system.read_word(pm.base + 128 * i) for i in range(32)]
+        assert got == list(range(1, 33))
+
+
+class TestInstructionAccounting:
+    def test_instruction_counter_increments(self, system):
+        def kernel(w):
+            yield w.compute(1)
+            yield w.compute(1)
+
+        system.launch(kernel, 1)
+        warps = system.config.gpu.warps_per_block
+        assert system.stat("sm.instructions") == 2 * warps

@@ -1,0 +1,99 @@
+"""L1 cache model: lookup, fill, LRU, PM invalidation flavours."""
+
+from repro.memory.cache import CacheLine, L1Cache, TagCache
+
+
+def make_l1(size=1024, line=128, assoc=2) -> L1Cache:
+    return L1Cache("l1", size, line, assoc)
+
+
+class TestL1Basics:
+    def test_miss_then_hit(self):
+        l1 = make_l1()
+        assert l1.lookup(0) is None
+        victim = l1.victim_for(0)
+        l1.fill(victim, 0, is_pm=False)
+        assert l1.lookup(0) is victim
+
+    def test_line_addr_alignment(self):
+        l1 = make_l1()
+        assert l1.line_addr(130) == 128
+        assert l1.line_addr(128) == 128
+
+    def test_lru_victim_selection(self):
+        l1 = make_l1(size=256, line=128, assoc=2)  # one set, two ways
+        a, b = 0, 128 * l1.num_sets  # same set
+        l1.fill(l1.victim_for(a), a, False, now=1)
+        l1.fill(l1.victim_for(b), b, False, now=2)
+        l1.lookup(a, now=3)  # a most recently used
+        victim = l1.victim_for(256 * l1.num_sets)
+        assert victim.tag == b  # b is LRU
+
+    def test_dirty_words_track_local_writes(self):
+        line = CacheLine()
+        l1 = make_l1()
+        l1.fill(line, 0, is_pm=True, words={0: 7, 4: 8})
+        line.write_words({4: 99})
+        assert line.words == {0: 7, 4: 99}
+        assert line.dirty_words == {4: 99}
+        assert line.dirty
+
+
+class TestInvalidation:
+    def fill_mixed(self, l1):
+        pm_line = l1.victim_for(0)
+        l1.fill(pm_line, 0, is_pm=True)
+        pm_line.write_words({0: 1})
+        clean_pm = l1.victim_for(128)
+        l1.fill(clean_pm, 128, is_pm=True)
+        vol = l1.victim_for(256)
+        l1.fill(vol, 256, is_pm=False)
+        return pm_line, clean_pm, vol
+
+    def test_invalidate_clean_pm_keeps_dirty(self):
+        l1 = make_l1()
+        dirty, clean, vol = self.fill_mixed(l1)
+        dropped = l1.invalidate_clean_pm()
+        assert dropped == 1
+        assert l1.lookup(0) is not None  # dirty PM survives
+        assert l1.lookup(128) is None
+        assert l1.lookup(256) is not None  # volatile untouched
+
+    def test_invalidate_pm_drops_all_pm(self):
+        l1 = make_l1()
+        self.fill_mixed(l1)
+        assert l1.invalidate_pm() == 2
+        assert l1.lookup(256) is not None
+
+    def test_invalidate_all_is_gpm_behaviour(self):
+        l1 = make_l1()
+        self.fill_mixed(l1)
+        assert l1.invalidate_all() == 3
+        assert l1.occupancy() == 0
+
+    def test_dirty_pm_lines_enumeration(self):
+        l1 = make_l1()
+        dirty, _, _ = self.fill_mixed(l1)
+        assert l1.dirty_pm_lines() == [dirty]
+
+
+class TestTagCache:
+    def test_hit_after_allocate(self):
+        l2 = TagCache("l2", 1024, 128, assoc=2)
+        assert not l2.access(0, now=0)
+        assert l2.access(0, now=1)
+
+    def test_lru_eviction(self):
+        l2 = TagCache("l2", 256, 128, assoc=2)  # 1 set
+        step = 128 * l2.num_sets
+        l2.access(0, now=0)
+        l2.access(step, now=1)
+        l2.access(0, now=2)
+        l2.access(2 * step, now=3)  # evicts `step`
+        assert l2.access(0, now=4)
+        assert not l2.access(step, now=5)
+
+    def test_no_allocate_mode(self):
+        l2 = TagCache("l2", 1024, 128)
+        l2.access(0, now=0, allocate=False)
+        assert not l2.access(0, now=1)
