@@ -9,7 +9,13 @@ from repro.bench import figure10b
 from conftest import emit
 
 
-def test_figure10b(benchmark, preset):
-    table = benchmark.pedantic(figure10b, args=(preset,), rounds=1, iterations=1)
+def test_figure10b(benchmark, preset, trace_dir):
+    table = benchmark.pedantic(
+        figure10b,
+        args=(preset,),
+        kwargs={"trace_dir": trace_dir},
+        rounds=1,
+        iterations=1,
+    )
     emit(table)
     assert table.rows, "figure produced no data"

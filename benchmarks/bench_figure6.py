@@ -9,7 +9,13 @@ from repro.bench import figure6
 from conftest import emit
 
 
-def test_figure6(benchmark, preset):
-    table = benchmark.pedantic(figure6, args=(preset,), rounds=1, iterations=1)
+def test_figure6(benchmark, preset, trace_dir):
+    table = benchmark.pedantic(
+        figure6,
+        args=(preset,),
+        kwargs={"trace_dir": trace_dir},
+        rounds=1,
+        iterations=1,
+    )
     emit(table)
     assert table.rows, "figure produced no data"

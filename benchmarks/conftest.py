@@ -14,6 +14,18 @@ import pytest
 FIGURES_FILE = pathlib.Path(__file__).parent / "figures_output.txt"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-dir",
+        action="store",
+        default=None,
+        help=(
+            "directory for per-scenario Chrome/Perfetto traces and "
+            "counter CSVs (tracing is off without it)"
+        ),
+    )
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_figures_file():
     FIGURES_FILE.write_text("")
@@ -23,6 +35,11 @@ def _fresh_figures_file():
 @pytest.fixture(scope="session")
 def preset() -> str:
     return "quick"
+
+
+@pytest.fixture(scope="session")
+def trace_dir(request):
+    return request.config.getoption("--trace-dir")
 
 
 def emit(table) -> None:

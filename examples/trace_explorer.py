@@ -1,0 +1,45 @@
+"""Trace explorer: profile a Figure 6-style reduction run under SBRP.
+
+Runs the reduction workload (quick preset) on the PM-far Table 1 machine
+with tracing enabled, then:
+
+* writes ``trace.json`` — open it at https://ui.perfetto.dev (or
+  chrome://tracing) to see per-warp residency tracks, persist
+  lifecycles, and PB-occupancy counters;
+* writes ``counters.csv`` — PB occupancy / ACTR / WPQ depth resampled
+  onto a regular cycle grid for plotting;
+* prints the ASCII profile — per-warp stall attribution, persist-phase
+  latencies, and device utilisation.
+
+Run:  python examples/trace_explorer.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.bench.runner import run_scenario, scenario_config
+from repro.bench.workloads import workload
+from repro.common.config import ModelName, PMPlacement
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("traces")
+    config = scenario_config(ModelName.SBRP, PMPlacement.FAR)
+    result = run_scenario(
+        "reduction",
+        config,
+        workload("reduction", "quick"),
+        trace_dir=str(out),
+    )
+    stem = out / f"reduction-{config.label}"
+    print(f"reduction @ {config.label}: {result.cycles:.0f} cycles")
+    print(f"wrote {stem}.trace.json (load at https://ui.perfetto.dev)")
+    print(f"wrote {stem}.counters.csv")
+    print()
+    print(result.profile)
+    print()
+    print(f"re-render any time with: python -m repro.trace.report {stem}.trace.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,11 @@ def _apps(apps: Optional[List[str]]) -> List[str]:
     return apps if apps is not None else list(APP_ORDER)
 
 
+def _tag(label: str) -> str:
+    """Sweep label -> filesystem-friendly trace tag."""
+    return label.replace("%", "pct").replace(" ", "_")
+
+
 def _with_mean(table: FigureTable, keys: List[str]) -> None:
     means = {
         series: geometric_mean(
@@ -38,7 +43,9 @@ def _with_mean(table: FigureTable, keys: List[str]) -> None:
 
 
 def figure6(
-    preset: str = "quick", apps: Optional[List[str]] = None
+    preset: str = "quick",
+    apps: Optional[List[str]] = None,
+    trace_dir: Optional[str] = None,
 ) -> FigureTable:
     """Figure 6: speedup over epoch-far of GPM / SBRP-far / epoch-near /
     SBRP-near for every application."""
@@ -55,7 +62,7 @@ def figure6(
     for app in names:
         params = workload(app, preset)
         cycles = {
-            label: run_scenario(app, cfg, params).cycles
+            label: run_scenario(app, cfg, params, trace_dir=trace_dir).cycles
             for label, cfg in scenarios.items()
         }
         base = cycles["Epoch-far"]
@@ -65,7 +72,9 @@ def figure6(
 
 
 def figure7(
-    preset: str = "quick", apps: Optional[List[str]] = None
+    preset: str = "quick",
+    apps: Optional[List[str]] = None,
+    trace_dir: Optional[str] = None,
 ) -> FigureTable:
     """Figure 7: contribution of buffers vs scopes to SBRP's speedup.
 
@@ -86,10 +95,16 @@ def figure7(
         values: Dict[str, float] = {}
         for placement, tag in ((_FAR, "far"), (_NEAR, "near")):
             epoch = run_scenario(
-                app, scenario_config(ModelName.EPOCH, placement), params
+                app,
+                scenario_config(ModelName.EPOCH, placement),
+                params,
+                trace_dir=trace_dir,
             ).cycles
             full = run_scenario(
-                app, scenario_config(ModelName.SBRP, placement), params
+                app,
+                scenario_config(ModelName.SBRP, placement),
+                params,
+                trace_dir=trace_dir,
             ).cycles
             demoted = run_scenario(
                 app,
@@ -97,6 +112,8 @@ def figure7(
                     ModelName.SBRP, placement, demote_block_scope=True
                 ),
                 params,
+                trace_dir=trace_dir,
+                trace_tag="demoted",
             ).cycles
             total_gain = max(1e-9, epoch / full - 1.0)
             buffer_gain = max(0.0, epoch / demoted - 1.0)
@@ -108,7 +125,9 @@ def figure7(
 
 
 def figure8(
-    preset: str = "quick", apps: Optional[List[str]] = None
+    preset: str = "quick",
+    apps: Optional[List[str]] = None,
+    trace_dir: Optional[str] = None,
 ) -> FigureTable:
     """Figure 8: L1 read misses for NVM data, normalized to epoch-far
     (lower is better)."""
@@ -126,7 +145,9 @@ def figure8(
     for app in names:
         params = workload(app, preset)
         misses = {
-            label: run_scenario(app, cfg, params).stat("l1.read_miss_pm")
+            label: run_scenario(app, cfg, params, trace_dir=trace_dir).stat(
+                "l1.read_miss_pm"
+            )
             for label, cfg in scenarios.items()
         }
         base = max(1.0, misses["Epoch-far"])
@@ -135,7 +156,9 @@ def figure8(
 
 
 def figure9(
-    preset: str = "quick", apps: Optional[List[str]] = None
+    preset: str = "quick",
+    apps: Optional[List[str]] = None,
+    trace_dir: Optional[str] = None,
 ) -> FigureTable:
     """Figure 9: SBRP-far speedup over epoch-far when the PM-far host is
     eADR-equipped (persists durable at the host LLC)."""
@@ -144,10 +167,18 @@ def figure9(
     for app in names:
         params = workload(app, preset)
         epoch = run_scenario(
-            app, scenario_config(ModelName.EPOCH, _FAR, eadr=True), params
+            app,
+            scenario_config(ModelName.EPOCH, _FAR, eadr=True),
+            params,
+            trace_dir=trace_dir,
+            trace_tag="eadr",
         ).cycles
         sbrp = run_scenario(
-            app, scenario_config(ModelName.SBRP, _FAR, eadr=True), params
+            app,
+            scenario_config(ModelName.SBRP, _FAR, eadr=True),
+            params,
+            trace_dir=trace_dir,
+            trace_tag="eadr",
         ).cycles
         table.add_row(app, {"SBRP-far": epoch / sbrp})
     _with_mean(table, names)
@@ -161,6 +192,7 @@ def _sensitivity(
     labels: List[str],
     preset: str,
     apps: Optional[List[str]],
+    trace_dir: Optional[str] = None,
 ) -> FigureTable:
     """Common shape of Figures 10a-c: SBRP-near speedup over epoch-near
     as one SBRP knob sweeps."""
@@ -169,17 +201,26 @@ def _sensitivity(
     epoch_cfg = scenario_config(ModelName.EPOCH, _NEAR)
     for app in names:
         params = workload(app, preset)
-        epoch = run_scenario(app, epoch_cfg, params).cycles
+        epoch = run_scenario(app, epoch_cfg, params, trace_dir=trace_dir).cycles
         row = {}
         for value, label in zip(values, labels):
             cfg = scenario_config(ModelName.SBRP, _NEAR, **{knob: value})
-            row[label] = epoch / run_scenario(app, cfg, params).cycles
+            row[label] = (
+                epoch
+                / run_scenario(
+                    app,
+                    cfg,
+                    params,
+                    trace_dir=trace_dir,
+                    trace_tag=f"{knob}_{_tag(label)}",
+                ).cycles
+            )
         table.add_row(app, row)
     _with_mean(table, names)
     return table
 
 
-def figure10a(preset: str = "quick", apps=None) -> FigureTable:
+def figure10a(preset: str = "quick", apps=None, trace_dir=None) -> FigureTable:
     """Figure 10a: SBRP-near speedup vs persist-buffer size (fraction of
     L1 lines covered)."""
     return _sensitivity(
@@ -189,10 +230,11 @@ def figure10a(preset: str = "quick", apps=None) -> FigureTable:
         ["12.5%", "25%", "50%", "100%"],
         preset,
         apps,
+        trace_dir,
     )
 
 
-def figure10b(preset: str = "quick", apps=None) -> FigureTable:
+def figure10b(preset: str = "quick", apps=None, trace_dir=None) -> FigureTable:
     """Figure 10b: SBRP-near speedup vs NVM bandwidth scaling."""
     names = _apps(apps)
     labels = ["50%", "100%", "200%"]
@@ -205,15 +247,20 @@ def figure10b(preset: str = "quick", apps=None) -> FigureTable:
         params = workload(app, preset)
         row = {}
         for scale, label in zip([0.5, 1.0, 2.0], labels):
+            tag = f"bw_{_tag(label)}"
             epoch = run_scenario(
                 app,
                 scenario_config(ModelName.EPOCH, _NEAR, nvm_bw_scale=scale),
                 params,
+                trace_dir=trace_dir,
+                trace_tag=tag,
             ).cycles
             sbrp = run_scenario(
                 app,
                 scenario_config(ModelName.SBRP, _NEAR, nvm_bw_scale=scale),
                 params,
+                trace_dir=trace_dir,
+                trace_tag=tag,
             ).cycles
             row[label] = epoch / sbrp
         table.add_row(app, row)
@@ -221,7 +268,7 @@ def figure10b(preset: str = "quick", apps=None) -> FigureTable:
     return table
 
 
-def figure10c(preset: str = "quick", apps=None) -> FigureTable:
+def figure10c(preset: str = "quick", apps=None, trace_dir=None) -> FigureTable:
     """Figure 10c: SBRP-near speedup vs drain window size."""
     return _sensitivity(
         "Figure 10c: window-size sweep (SBRP-near speedup over epoch-near)",
@@ -230,15 +277,23 @@ def figure10c(preset: str = "quick", apps=None) -> FigureTable:
         ["2", "4", "6", "8", "10"],
         preset,
         apps,
+        trace_dir,
     )
 
 
 def figure11(
-    preset: str = "quick", apps: Optional[List[str]] = None
+    preset: str = "quick",
+    apps: Optional[List[str]] = None,
+    trace_dir: Optional[str] = None,
 ) -> FigureTable:
     """Figure 11: recovery-kernel runtime under epoch-near and SBRP-near
     after a worst-case crash, normalized to epoch-near (lower is
-    better)."""
+    better).
+
+    *trace_dir* is accepted for a uniform driver signature but unused:
+    the CrashHarness replays partial executions on throwaway systems, so
+    its recovery runs are not traced.
+    """
     names = _apps(apps)
     series = ["Epoch", "SBRP"]
     table = FigureTable(

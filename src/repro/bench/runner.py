@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional
 
 from repro.apps import build_app
@@ -24,6 +25,9 @@ class ScenarioResult:
     label: str
     cycles: float
     stats: Mapping[str, float]
+    #: ASCII profile (stall attribution + persist lifecycle) when the
+    #: scenario ran with tracing enabled; None otherwise.
+    profile: Optional[str] = field(default=None, compare=False)
 
     def stat(self, name: str, default: float = 0.0) -> float:
         return self.stats.get(name, default)
@@ -57,18 +61,41 @@ def run_scenario(
     config: SystemConfig,
     app_params: Optional[dict] = None,
     verify: bool = True,
+    trace: bool = False,
+    trace_dir: Optional[str] = None,
+    trace_tag: Optional[str] = None,
 ) -> ScenarioResult:
-    """Run one app to completion under *config* and collect metrics."""
-    system = GPUSystem(config)
+    """Run one app to completion under *config* and collect metrics.
+
+    With ``trace=True`` (implied by ``trace_dir``) the run is traced and
+    the result carries an ASCII profile.  ``trace_dir`` additionally
+    writes ``{app}-{label}.trace.json`` (Chrome/Perfetto) and
+    ``{app}-{label}.counters.csv`` into that directory; *trace_tag*
+    disambiguates sweep points that share a config label.
+    """
+    traced = trace or trace_dir is not None
+    system = GPUSystem(config, trace=traced)
     app = build_app(app_name, **(app_params or {}))
     app.setup(system)
     outcome = app.run(system)
     if verify:
         system.sync()
         app.check(system, complete=True)
+    profile: Optional[str] = None
+    if traced:
+        profile = system.trace_report()
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+            name = f"{app_name}-{config.label}"
+            if trace_tag:
+                name += f"-{trace_tag}"
+            stem = os.path.join(trace_dir, name)
+            system.write_trace(stem + ".trace.json")
+            system.write_trace_csv(stem + ".counters.csv")
     return ScenarioResult(
         app=app_name,
         label=config.label,
         cycles=outcome.cycles,
         stats=system.stats.snapshot(),
+        profile=profile,
     )

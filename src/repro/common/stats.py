@@ -27,8 +27,13 @@ class StatsRegistry:
         self._counters[name] = value
 
     def peak(self, name: str, value: float) -> None:
-        """Track the running maximum of *name*."""
-        if value > self._counters[name]:
+        """Track the running maximum of *name*.
+
+        The first observation always records, so negative-valued peaks
+        work and an unobserved counter is never materialized at zero.
+        """
+        current = self._counters.get(name)
+        if current is None or value > current:
             self._counters[name] = value
 
     def get(self, name: str, default: float = 0.0) -> float:

@@ -23,6 +23,7 @@ from repro.memory.backing import BackingStore
 from repro.memory.subsystem import MemorySubsystem
 from repro.gpu.engine import Engine
 from repro.gpu.warp import Warp, WarpCtx, WarpState
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 KernelFn = Callable[..., Any]
 
@@ -57,6 +58,7 @@ class GPU:
         backing: Optional[BackingStore] = None,
         stats: Optional[StatsRegistry] = None,
         max_cycles: float = 2e9,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         from repro.persistency import build_model  # local import: cycle guard
 
@@ -64,9 +66,10 @@ class GPU:
         self.config = config
         self.stats = stats if stats is not None else StatsRegistry()
         self.backing = backing if backing is not None else BackingStore()
-        self.engine = Engine(max_cycles=max_cycles)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.engine = Engine(max_cycles=max_cycles, stats=self.stats)
         self.subsystem = MemorySubsystem(
-            config.memory, config.gpu, self.backing, self.stats
+            config.memory, config.gpu, self.backing, self.stats, self.tracer
         )
         self.model = build_model(config, self.stats)
         from repro.gpu.sm import SM  # local import: cycle guard
@@ -130,12 +133,17 @@ class GPU:
         self.stats.add("kernel.launches")
         if drain:
             self.sync()
-        return KernelResult(
+        result = KernelResult(
             name=name or getattr(kernel, "__name__", "kernel"),
             start=start,
             end=self.engine.now,
             blocks=grid_blocks,
         )
+        if self.tracer.enabled:
+            self.tracer.span(
+                "gpu", result.name, start, result.end, {"blocks": grid_blocks}
+            )
+        return result
 
     def sync(self) -> float:
         """Host-side synchronize-and-persist: drain every SM's buffered

@@ -8,9 +8,10 @@ order until the queue empties or a cycle budget is exceeded.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
+from repro.common.stats import StatsRegistry
 
 EventFn = Callable[[float], None]
 
@@ -18,9 +19,12 @@ EventFn = Callable[[float], None]
 class Engine:
     """Time-ordered event queue with a hard cycle budget."""
 
-    def __init__(self, max_cycles: float = 2e9) -> None:
+    def __init__(
+        self, max_cycles: float = 2e9, stats: Optional[StatsRegistry] = None
+    ) -> None:
         self.now: float = 0.0
         self.max_cycles = max_cycles
+        self.stats = stats
         self._queue: List[Tuple[float, int, EventFn]] = []
         self._seq = 0
         self.events_processed = 0
@@ -49,11 +53,15 @@ class Engine:
             if time > self.max_cycles:
                 raise SimulationError(
                     f"cycle budget exceeded at t={time:.0f} "
-                    f"(budget {self.max_cycles:.0f}); likely a livelock"
+                    f"(budget {self.max_cycles:.0f}); likely a livelock "
+                    f"({len(self._queue)} events still queued)"
                 )
             self.now = max(self.now, time)
             self.events_processed += 1
             fn(self.now)
+        if self.stats is not None:
+            self.stats.set("engine.events_processed", float(self.events_processed))
+            self.stats.set("engine.now", self.now)
         return self.now
 
     def pending(self) -> int:

@@ -35,6 +35,20 @@ from repro.gpu.warp import Warp, WarpState
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.gpu.device import GPU
 
+#: Stall-attribution category of each warp op (trace residency buckets).
+_OP_CATEGORY = {
+    Compute: "compute",
+    Ld: "ld",
+    St: "st",
+    AtomicAdd: "atomic",
+    OFence: "ofence",
+    DFence: "dfence",
+    PAcq: "pacq",
+    PRel: "prel",
+    ThreadFence: "threadfence",
+    BlockBarrier: "barrier",
+}
+
 
 class SM:
     """One streaming multiprocessor."""
@@ -48,6 +62,7 @@ class SM:
         self.backing = gpu.backing
         self.model = gpu.model
         self.stats = gpu.stats
+        self.tracer = gpu.tracer
         cfg = gpu.config.gpu
         self.l1 = L1Cache(
             f"sm{sm_id}.l1", cfg.l1_size, cfg.line_size, cfg.l1_assoc, gpu.stats
@@ -63,11 +78,17 @@ class SM:
     # ------------------------------------------------------------------
     # warp lifecycle
     # ------------------------------------------------------------------
+    def warp_track(self, warp: Warp) -> str:
+        """Trace-track name of a warp slot (``sm0.w03``)."""
+        return f"sm{self.sm_id}.w{warp.slot:02d}"
+
     def add_warp(self, warp: Warp, now: float) -> None:
         if warp.slot in self.warps:
             raise SimulationError(f"warp slot {warp.slot} already occupied")
         warp.ready_time = now
         self.warps[warp.slot] = warp
+        if self.tracer.enabled:
+            self.tracer.warp_begin(self.warp_track(warp), now)
         self.kick(now)
 
     def remove_block(self, block_key: int) -> None:
@@ -127,6 +148,10 @@ class SM:
         warp.ready_time = at
         if send is not None:
             warp.send_value = send
+        if self.tracer.enabled:
+            # Close the blocked op's interval: cycles up to the wake are
+            # attributed to the stalling op, after it to the scheduler.
+            self.tracer.warp_phase(self.warp_track(warp), "sched", at)
         self.kick(self.engine.now)
 
     def complete_blocked(self, warp: Warp, at: float, send: object = None) -> None:
@@ -147,6 +172,10 @@ class SM:
                 self._warp_done(warp, now)
                 return
         self.stats.add("sm.instructions")
+        if self.tracer.enabled:
+            self.tracer.warp_phase(
+                self.warp_track(warp), _OP_CATEGORY.get(type(op), "sched"), now
+            )
         self._process(warp, op, now)
 
     def _advance(self, warp: Warp) -> Optional[Op]:
@@ -159,6 +188,8 @@ class SM:
 
     def _warp_done(self, warp: Warp, now: float) -> None:
         warp.state = WarpState.DONE
+        if self.tracer.enabled:
+            self.tracer.warp_end(self.warp_track(warp), now)
         self.gpu.on_warp_done(self, warp, now)
 
     def _complete(self, warp: Warp, now: float, at: float, send: object = None) -> None:
@@ -167,6 +198,9 @@ class SM:
         warp.ready_time = max(at, now + 1)
         if send is not None:
             warp.send_value = send
+        if self.tracer.enabled:
+            # The op occupied [issue, ready); what follows is scheduling.
+            self.tracer.warp_phase(self.warp_track(warp), "sched", warp.ready_time)
 
     def _block(self, warp: Warp, op: Op) -> None:
         """Stall the warp; the persistency model will wake it and the op
@@ -382,4 +416,6 @@ class SM:
             w.state = WarpState.READY
             w.ready_time = now + 1
             w.retry_op = None
+            if self.tracer.enabled:
+                self.tracer.warp_phase(self.warp_track(w), "sched", now + 1)
         self.kick(now)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Deque, Optional
 
 from repro.common.stats import StatsRegistry
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,7 @@ class BandwidthChannel:
         latency: int,
         bytes_per_cycle: float,
         stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if bytes_per_cycle <= 0:
             raise ValueError(f"{name}: bandwidth must be positive")
@@ -55,6 +57,7 @@ class BandwidthChannel:
         self.bytes_per_cycle = bytes_per_cycle
         self.next_free = 0.0
         self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def transfer(self, now: float, nbytes: int) -> float:
         """Return the completion time of a transfer of *nbytes*."""
@@ -64,6 +67,8 @@ class BandwidthChannel:
         self.stats.add(f"{self.name}.bytes", nbytes)
         self.stats.add(f"{self.name}.transfers")
         self.stats.add(f"{self.name}.busy_cycles", occupancy)
+        if self.tracer.enabled:
+            self.tracer.span(self.name, "xfer", start, start + occupancy)
         return start + occupancy + self.latency
 
     def reset(self) -> None:
@@ -85,10 +90,12 @@ class NVMController:
         latency: int,
         wpq_entries: int,
         stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.read_channel = BandwidthChannel(
-            f"{name}.read", latency, read_bytes_per_cycle, stats
+            f"{name}.read", latency, read_bytes_per_cycle, stats, self.tracer
         )
         self.write_bytes_per_cycle = write_bytes_per_cycle
         self.latency = latency
@@ -123,6 +130,9 @@ class NVMController:
         self._wpq.append(drain_end)
         self.stats.add(f"{self.name}.bytes_written", nbytes)
         self.stats.add(f"{self.name}.writes")
+        if self.tracer.enabled:
+            self.tracer.span(self.name, "write", accept, drain_end)
+            self.tracer.counter(self.name, "wpq", now, float(len(self._wpq)))
         return accept
 
     def reset(self) -> None:

@@ -21,6 +21,7 @@ from repro.common.units import gbps_to_bytes_per_cycle
 from repro.memory.backing import BackingStore
 from repro.memory.cache import TagCache
 from repro.memory.devices import BandwidthChannel, NVMController, WriteAck
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -69,11 +70,13 @@ class MemorySubsystem:
         gpu: GPUConfig,
         backing: BackingStore,
         stats: StatsRegistry,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.config = memory
         self.gpu = gpu
         self.backing = backing
         self.stats = stats
+        self.tracer = tracer
         self.line_size = gpu.line_size
         self.l2 = TagCache("l2", gpu.l2_size, gpu.line_size, stats=stats)
 
@@ -85,6 +88,7 @@ class MemorySubsystem:
                 memory.gddr_latency,
                 gbps_to_bytes_per_cycle(memory.gddr_bw_gbps) * per_part,
                 stats,
+                tracer,
             )
             for i in range(parts)
         ]
@@ -97,6 +101,7 @@ class MemorySubsystem:
                 memory.nvm_latency,
                 memory.wpq_entries,
                 stats,
+                tracer,
             )
             for i in range(parts)
         ]
@@ -107,12 +112,14 @@ class MemorySubsystem:
             memory.pcie_latency,
             gbps_to_bytes_per_cycle(memory.pcie_bw_gbps),
             stats,
+            tracer,
         )
         self.pcie_up = BandwidthChannel(
             "pcie_up",
             memory.pcie_latency,
             gbps_to_bytes_per_cycle(memory.pcie_bw_gbps),
             stats,
+            tracer,
         )
         self.persist_log = PersistLog()
         self._persist_seq = 0

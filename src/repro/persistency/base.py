@@ -130,6 +130,12 @@ class PersistencyModel(abc.ABC):
         for addr, value in words.items():
             sm.backing.write(addr, value)
         ack = sm.subsystem.persist_line(now, sm.sm_id, line.tag, words)
+        if sm.tracer.enabled:
+            # Lifecycle: drain issued now; durable at acceptance; the
+            # SM learns (ACTR decrement) at the ack.
+            sm.tracer.persist_flush(
+                sm.sm_id, line.tag, now, ack.accept_time, ack.ack_time
+            )
         line.dirty = False
         line.dirty_words = {}
         self.stats.add(f"sm{sm.sm_id}.pm_flushes")

@@ -77,6 +77,8 @@ class EpochModel(PersistencyModel):
         else:
             self.stats.add("l1.write_hit_pm")
         line.write_words(words)
+        if sm.tracer.enabled:
+            sm.tracer.persist_store(sm.sm_id, line_addr, now)
         return Outcome.complete(now + 1)
 
     # ------------------------------------------------------------------

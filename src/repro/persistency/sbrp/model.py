@@ -83,12 +83,16 @@ class SBRPModel(PersistencyModel):
                         entry.waiters.append(warp)
                         st.force_until_seq = max(st.force_until_seq, entry.seq)
                         self.stats.add("sbrp.edm_stalls")
+                        if sm.tracer.enabled:
+                            sm.tracer.persist_delay(sm.sm_id, line_addr, "edm")
                         self._schedule_pump(sm)
                         return Outcome.blocked()
                     line.write_words(words)
                     entry.warp_mask |= bit
                     self.stats.add("sbrp.stores_coalesced")
                     self.stats.add("l1.write_hit_pm")
+                    if sm.tracer.enabled:
+                        sm.tracer.persist_store(sm.sm_id, line_addr, now)
                     return Outcome.complete(now + 1)
             self.stats.add("l1.write_hit_pm")
             return self._attach_persist(sm, st, warp, line, line_addr, words, now)
@@ -119,6 +123,9 @@ class SBRPModel(PersistencyModel):
         line.is_pm = True
         line.write_words(words)
         self.stats.add("sbrp.persist_entries")
+        if sm.tracer.enabled:
+            sm.tracer.persist_store(sm.sm_id, line_addr, now)
+            self._trace_pb(sm, st, now)
         self._schedule_pump(sm)
         return Outcome.complete(now + 1)
 
@@ -128,6 +135,12 @@ class SBRPModel(PersistencyModel):
         self.stats.add("sbrp.pb_full_stalls")
         self._schedule_pump(sm)
         return Outcome.blocked()
+
+    def _trace_pb(self, sm: "SM", st: SBRPState, now: float) -> None:
+        """Emit PB-occupancy / ACTR counter samples (tracing only)."""
+        track = f"sm{sm.sm_id}"
+        sm.tracer.counter(track, "pb_occupancy", now, float(st.pb.live_count()))
+        sm.tracer.counter(track, "actr", now, float(st.actr))
 
     # ==================================================================
     # fences
@@ -262,6 +275,8 @@ class SBRPModel(PersistencyModel):
             st.actr_zero_waiters.append(warp)
             st.force_until_seq = max(st.force_until_seq, entry.seq)
             self.stats.add("sbrp.evict_stalls")
+            if sm.tracer.enabled:
+                sm.tracer.persist_delay(sm.sm_id, entry.line_addr, "actr")
             self._schedule_pump(sm)
             return Outcome.blocked()
         # No ordering entry precedes it: flush out of FIFO order.
@@ -301,13 +316,21 @@ class SBRPModel(PersistencyModel):
         st.pump_scheduled = False
         if st.actr == 0:
             st.fsm.reset()
+        traced = sm.tracer.enabled
         hold = 0  # warps with a delayed earlier entry in this pass
         for entry in list(st.pb.entries()):
             if entry.kind is EntryKind.PERSIST:
                 if entry.warp_mask & (st.fsm.bits | hold):
                     hold |= entry.warp_mask
+                    if traced:
+                        sm.tracer.persist_delay(sm.sm_id, entry.line_addr, "fsm")
                     continue
                 if not self._policy_allows(st, entry):
+                    if traced:
+                        policy = self.config.sbrp.drain_policy
+                        sm.tracer.persist_delay(
+                            sm.sm_id, entry.line_addr, policy.value
+                        )
                     break  # drain-rate budget exhausted for this pass
                 st.pb.remove(entry)
                 self._flush_entry(sm, st, entry, now)
@@ -323,6 +346,8 @@ class SBRPModel(PersistencyModel):
         if st.actr == 0:
             st.fsm.reset()
             self._resolve_actr_zero(sm, st, now)
+        if traced:
+            self._trace_pb(sm, st, now)
 
     def _order_point_at_head(
         self, sm: "SM", st: SBRPState, entry: PBEntry, now: float
@@ -408,6 +433,8 @@ class SBRPModel(PersistencyModel):
             if generation != st.generation:
                 return
             st.retire_ack(ack_time)
+            if sm.tracer.enabled:
+                sm.tracer.counter(f"sm{sm.sm_id}", "actr", t, float(st.actr))
             for waiter in waiters:
                 st.edm.clear(waiter.slot)
                 sm.wake_warp(waiter, t)

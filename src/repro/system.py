@@ -26,6 +26,7 @@ from repro.common.stats import StatsRegistry
 from repro.memory.address_space import AddressSpace, Allocation
 from repro.memory.namespace import NamespaceEntry, NamespaceTable
 from repro.gpu.device import GPU, KernelResult
+from repro.trace.tracer import NULL_TRACER, TraceConfig, Tracer
 
 
 @dataclass(frozen=True)
@@ -45,16 +46,33 @@ class GPUSystem:
         config: SystemConfig,
         pm_image: Optional[CrashImage] = None,
         max_cycles: float = 2e9,
+        trace: "Tracer | TraceConfig | bool | None" = None,
     ) -> None:
         self.config = config.validate()
         self.stats = StatsRegistry()
         self.space = AddressSpace(alignment=config.gpu.line_size)
         self.namespace = NamespaceTable(self.space)
-        self.gpu = GPU(config, stats=self.stats, max_cycles=max_cycles)
+        self.tracer = self._resolve_tracer(trace)
+        self.gpu = GPU(
+            config, stats=self.stats, max_cycles=max_cycles, tracer=self.tracer
+        )
         self.kernel_results: List[KernelResult] = []
         if pm_image is not None:
             self.gpu.backing.load_pm_image(pm_image.pm)
             self.namespace.restore(pm_image.namespace, self.space)
+
+    @staticmethod
+    def _resolve_tracer(trace: "Tracer | TraceConfig | bool | None") -> Tracer:
+        """Accept a Tracer, a TraceConfig, or a bool; default: disabled."""
+        if trace is None or trace is False:
+            return NULL_TRACER
+        if trace is True:
+            return Tracer(TraceConfig())
+        if isinstance(trace, TraceConfig):
+            return Tracer(trace)
+        if isinstance(trace, Tracer):
+            return trace
+        raise SimulationError(f"unsupported trace argument: {trace!r}")
 
     # ------------------------------------------------------------------
     # memory management
@@ -177,6 +195,36 @@ class GPUSystem:
     # ------------------------------------------------------------------
     def stat(self, name: str, default: float = 0.0) -> float:
         return self.stats.get(name, default)
+
+    def write_trace(self, path: str) -> None:
+        """Export the run's trace as Chrome/Perfetto ``trace.json``."""
+        from repro.trace.perfetto import write_chrome_trace
+
+        if not self.tracer.enabled:
+            raise SimulationError(
+                "tracing is disabled; construct with GPUSystem(cfg, trace=True)"
+            )
+        write_chrome_trace(self.tracer, path, config=self.config, cycles=self.now)
+
+    def write_trace_csv(self, path: str, interval: Optional[float] = None) -> None:
+        """Export counter tracks (PB occupancy, ACTR, WPQ depth) as CSV."""
+        from repro.trace.csvout import write_counter_csv
+
+        if not self.tracer.enabled:
+            raise SimulationError(
+                "tracing is disabled; construct with GPUSystem(cfg, trace=True)"
+            )
+        write_counter_csv(self.tracer, path, interval=interval)
+
+    def trace_report(self) -> str:
+        """ASCII profile: stall attribution, persist lifecycle, devices."""
+        from repro.trace.report import profile_tracer
+
+        if not self.tracer.enabled:
+            raise SimulationError(
+                "tracing is disabled; construct with GPUSystem(cfg, trace=True)"
+            )
+        return profile_tracer(self.tracer, config=self.config, cycles=self.now)
 
     def __repr__(self) -> str:
         return f"GPUSystem({self.config.label}, t={self.now:.0f})"

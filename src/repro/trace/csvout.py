@@ -1,0 +1,64 @@
+"""CSV time-series sampling of counter tracks.
+
+Counter events (PB occupancy, ACTR, WPQ depth, ...) are change-driven;
+plotting tools want a regular grid.  :func:`counter_timeseries` resamples
+every counter onto a fixed cycle interval with last-value-holds
+semantics and renders one CSV with a column per counter.
+
+Output is deterministic: columns are sorted, the grid is derived from
+the trace contents, and values are plain ``repr`` floats.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.trace.tracer import Tracer
+
+
+def counter_timeseries(tracer: Tracer, interval: Optional[float] = None) -> str:
+    """Resample all counter tracks onto a regular grid as CSV text.
+
+    *interval* defaults to roughly 1/200th of the trace span (at least
+    one cycle), giving ~200 rows regardless of run length.
+    """
+    events = sorted(
+        ((ts, f"{track}.{name}", value) for track, name, ts, value in tracer.counters),
+        key=lambda e: (e[0], e[1]),
+    )
+    columns = sorted({name for _ts, name, _v in events})
+    if not events:
+        out = io.StringIO()
+        csv.writer(out).writerow(["cycle"] + columns)
+        return out.getvalue()
+    end = events[-1][0]
+    if interval is None:
+        interval = max(1.0, end / 200.0)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["cycle"] + columns)
+    current: Dict[str, float] = {name: 0.0 for name in columns}
+    index = 0
+    steps = int(math.ceil(end / interval)) if end > 0 else 0
+    for step in range(steps + 1):
+        cycle = step * interval
+        while index < len(events) and events[index][0] <= cycle:
+            _ts, name, value = events[index]
+            current[name] = value
+            index += 1
+        writer.writerow([cycle] + [current[name] for name in columns])
+    return out.getvalue()
+
+
+def write_counter_csv(
+    tracer: Tracer, path: str | Path, interval: Optional[float] = None
+) -> Path:
+    """Write :func:`counter_timeseries` output to *path*."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(counter_timeseries(tracer, interval))
+    return target

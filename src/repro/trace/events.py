@@ -1,0 +1,130 @@
+"""Typed trace records and the fixed-bucket latency histogram.
+
+The hot path of the tracer appends plain tuples into bounded deques (a
+ring buffer: old events fall off the back of a long run instead of
+growing memory without bound).  The tuple shapes are:
+
+* span      — ``(track, name, start, end, args_or_None)``
+* instant   — ``(track, name, ts, args_or_None)``
+* counter   — ``(track, name, ts, value)``
+
+Aggregates that must stay *complete* regardless of ring-buffer drops
+(stall totals, lifecycle histograms, device busy time) are accumulated
+online in plain dicts; only the per-event timeline is bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+
+class Histogram:
+    """Power-of-two bucketed latency histogram with exact moments.
+
+    Buckets are keyed by their floor: a value ``v`` lands in bucket
+    ``2^floor(log2(v))`` (0 for sub-cycle values).  Count / total / max
+    are exact, so means never suffer bucketing error.
+    """
+
+    __slots__ = ("count", "total", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.buckets: Dict[int, int] = {}
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        floor = 0 if value < 1 else 1 << (int(value).bit_length() - 1)
+        self.buckets[floor] = self.buckets.get(floor, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (bucket keys stringified and sorted)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(k): self.buckets[k] for k in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Histogram":
+        hist = cls()
+        hist.count = int(data.get("count", 0))
+        hist.total = float(data.get("total", 0.0))
+        hist.max = float(data.get("max", 0.0))
+        hist.buckets = {
+            int(k): int(v) for k, v in dict(data.get("buckets", {})).items()
+        }
+        return hist
+
+
+#: Persist-lifecycle phases, in order (names used by report + exporter).
+LIFECYCLE_PHASES = ("buffer", "drain", "ack")
+
+
+@dataclass
+class PersistTrace:
+    """Lifecycle of one PM line from L1 write to durability.
+
+    ``t_store``   — first PM store that dirtied the line (L1 write /
+                    PB-entry creation under SBRP).
+    ``t_drain``   — the drain pump (or barrier/eviction) issued the flush.
+    ``t_accept``  — the memory controller accepted it (ADR durability).
+    ``t_ack``     — the acknowledgement arrived back at the SM.
+    ``delays``    — per-reason counts of drain passes that skipped this
+                    persist (fsm / window / lazy / edm / actr).
+    ``stores``    — stores coalesced into the line while buffered.
+    """
+
+    pid: int
+    sm_id: int
+    line_addr: int
+    t_store: float
+    t_drain: float = -1.0
+    t_accept: float = -1.0
+    t_ack: float = -1.0
+    stores: int = 1
+    delays: Dict[str, int] = field(default_factory=dict)
+
+    def phase_latencies(self) -> Dict[str, float]:
+        """Per-phase latencies; negative phases (untraced) are omitted."""
+        out: Dict[str, float] = {}
+        if self.t_drain >= 0:
+            out["buffer"] = self.t_drain - self.t_store
+        if self.t_accept >= 0 and self.t_drain >= 0:
+            out["drain"] = self.t_accept - self.t_drain
+        if self.t_ack >= 0 and self.t_accept >= 0:
+            out["ack"] = self.t_ack - self.t_accept
+        return out
+
+
+#: Stall-attribution categories in report column order.  Every cycle of
+#: a warp's residency lands in exactly one of these.
+STALL_CATEGORIES: List[str] = [
+    "compute",
+    "ld",
+    "st",
+    "atomic",
+    "ofence",
+    "dfence",
+    "pacq",
+    "prel",
+    "threadfence",
+    "barrier",
+    "sched",
+]
+
+#: Categories that are pure waiting on the persistency model (the
+#: "stall" half of the table, vs. useful work + scheduler residency).
+FENCE_CATEGORIES = ("ofence", "dfence", "pacq", "prel", "threadfence")

@@ -20,6 +20,24 @@ def test_set_and_peak():
     assert stats.get("x") == 8
 
 
+def test_peak_of_negative_values():
+    """Regression: peak() used to read the counter through defaultdict
+    indexing, materializing 0.0 and clamping every negative peak."""
+    stats = StatsRegistry()
+    stats.peak("depth", -5)
+    assert stats.get("depth") == -5
+    stats.peak("depth", -2)
+    assert stats.get("depth") == -2
+    stats.peak("depth", -9)
+    assert stats.get("depth") == -2
+
+
+def test_peak_does_not_materialize_counter():
+    stats = StatsRegistry()
+    stats.peak("p", -1)
+    assert stats.snapshot() == {"p": -1}
+
+
 def test_with_prefix():
     stats = StatsRegistry()
     stats.add("l1.hit")
@@ -35,6 +53,21 @@ def test_merge():
     b.add("y", 3)
     a.merge(b)
     assert a.get("x") == 3 and a.get("y") == 3
+
+
+def test_merge_leaves_source_untouched():
+    a, b = StatsRegistry(), StatsRegistry()
+    b.add("y", 3)
+    a.merge(b)
+    a.add("y", 1)
+    assert b.get("y") == 3
+
+
+def test_with_prefix_excludes_longer_names():
+    stats = StatsRegistry()
+    stats.add("l1.hit")
+    stats.add("l10.hit")
+    assert stats.with_prefix("l1") == {"l1.hit": 1}
 
 
 def test_empty_registry_is_falsy_but_must_not_be_replaced():

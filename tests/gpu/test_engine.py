@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.errors import SimulationError
+from repro.common.stats import StatsRegistry
 from repro.gpu.engine import Engine
 
 
@@ -64,6 +65,34 @@ def test_cycle_budget_raises():
     engine.schedule(0, respawn)
     with pytest.raises(SimulationError):
         engine.run()
+
+
+def test_cycle_budget_message_reports_queue_depth():
+    engine = Engine(max_cycles=100)
+
+    def respawn(t):
+        engine.schedule(t + 60, respawn)
+        engine.schedule(t + 70, lambda t2: None)
+
+    engine.schedule(0, respawn)
+    with pytest.raises(SimulationError, match=r"\d+ events still queued"):
+        engine.run()
+
+
+def test_run_records_engine_stats():
+    stats = StatsRegistry()
+    engine = Engine(stats=stats)
+    engine.schedule(5, lambda t: None)
+    engine.schedule(12, lambda t: None)
+    engine.run()
+    assert stats.get("engine.events_processed") == 2
+    assert stats.get("engine.now") == 12
+
+
+def test_run_without_registry_records_nothing():
+    engine = Engine()
+    engine.schedule(5, lambda t: None)
+    assert engine.run() == 5
 
 
 def test_schedule_in_relative():

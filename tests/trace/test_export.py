@@ -1,0 +1,127 @@
+"""Exporters: Perfetto structure, byte determinism, CSV, report CLI.
+
+The structural tests run the Figure 6 reduction scenario (quick preset,
+SBRP-far) once per session and validate the exported artifacts.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.runner import run_scenario, scenario_config
+from repro.bench.workloads import workload
+from repro.common.config import ModelName, PMPlacement
+from repro.trace import load_trace, reconcile, render_report
+from repro.trace.report import main as report_main
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    """One traced Figure 6 reduction run (SBRP-far, quick preset)."""
+    directory = tmp_path_factory.mktemp("traces")
+    run_scenario(
+        "reduction",
+        scenario_config(ModelName.SBRP, PMPlacement.FAR),
+        workload("reduction", "quick"),
+        trace_dir=str(directory),
+    )
+    return directory
+
+
+@pytest.fixture(scope="module")
+def trace_path(trace_dir):
+    return trace_dir / "reduction-SBRP-far.trace.json"
+
+
+@pytest.fixture(scope="module")
+def trace(trace_path):
+    return load_trace(trace_path)
+
+
+def test_perfetto_structure(trace):
+    assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = trace["traceEvents"]
+    assert events, "trace has no events"
+    named = {}
+    for event in events:
+        assert event["ph"] in {"M", "X", "i", "C", "b", "e"}
+        if event["ph"] == "M" and event["name"] == "thread_name":
+            named[(event["pid"], event["tid"])] = event["args"]["name"]
+    # Every non-counter timeline event lands on a named thread track.
+    for event in events:
+        if event["ph"] in {"X", "i", "b", "e"}:
+            assert (event["pid"], event["tid"]) in named
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+    # One track per warp slot and per memory device.
+    tracks = set(named.values())
+    assert any(t.startswith("sm0.w") for t in tracks)
+    assert any(t.startswith("nvm") for t in tracks)
+    assert "gpu" in tracks  # kernel-launch summary track
+
+
+def test_persist_async_pairs_match(trace):
+    begins = {e["id"] for e in trace["traceEvents"] if e["ph"] == "b"}
+    ends = {e["id"] for e in trace["traceEvents"] if e["ph"] == "e"}
+    assert begins and begins == ends
+    lifecycle = trace["otherData"]["lifecycle"]
+    assert len(begins) == lifecycle["persists"] > 0
+
+
+def test_trace_stamped_with_config_and_cycles(trace):
+    config = trace["otherData"]["config"]
+    assert config["model"] == "sbrp"
+    assert config["memory"]["placement"] == "far"
+    assert trace["otherData"]["cycles"] > 0
+
+
+def test_pb_occupancy_counter_track(trace):
+    counters = {e["name"] for e in trace["traceEvents"] if e["ph"] == "C"}
+    assert any(name.endswith("pb_occupancy") for name in counters)
+
+
+def test_report_reconciles_within_one_percent(trace):
+    recon = reconcile(trace)
+    assert recon["ratio"] == pytest.approx(1.0, abs=0.01)
+    assert recon["span_ratio"] == pytest.approx(1.0, abs=0.01)
+
+
+def test_render_report_from_file(trace):
+    text = render_report(trace)
+    assert "per-warp stall attribution" in text
+    assert "persist lifecycle" in text
+    assert "TOTAL" in text
+
+
+def test_report_cli(trace_path, capsys):
+    assert report_main([str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "per-warp stall attribution" in out
+
+
+def test_counter_csv_structure(trace_dir):
+    lines = (trace_dir / "reduction-SBRP-far.counters.csv").read_text().splitlines()
+    header = lines[0].split(",")
+    assert header[0] == "cycle"
+    assert header[1:] == sorted(header[1:])
+    assert any(col.endswith("pb_occupancy") for col in header)
+    assert len(lines) > 2
+
+
+def test_export_is_byte_deterministic(tmp_path):
+    def once(directory):
+        run_scenario(
+            "reduction",
+            scenario_config(ModelName.SBRP, PMPlacement.FAR),
+            workload("reduction", "quick"),
+            trace_dir=str(directory),
+        )
+        stem = directory / "reduction-SBRP-far"
+        return (
+            (stem.parent / (stem.name + ".trace.json")).read_bytes(),
+            (stem.parent / (stem.name + ".counters.csv")).read_bytes(),
+        )
+
+    first = once(tmp_path / "a")
+    second = once(tmp_path / "b")
+    assert first == second

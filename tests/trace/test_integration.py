@@ -1,0 +1,92 @@
+"""Tracing threaded through full runs: zero perturbation, lifecycle,
+reconciliation."""
+
+import pytest
+
+from repro import GPUSystem, ModelName, small_system
+from repro.common.errors import SimulationError
+from repro.trace import NULL_TRACER, TraceConfig, Tracer, reconcile
+from repro.trace.perfetto import chrome_trace
+
+
+def pm_kernel(w, data):
+    for i in range(2):
+        yield w.st(data.base + 4 * w.tid, w.tid + i)
+    yield w.dfence()
+
+
+def run(model, trace):
+    system = GPUSystem(small_system(model), trace=trace)
+    data = system.pm_create("d", 1 << 16)
+    result = system.launch(pm_kernel, grid_blocks=2, args=(data,), drain=True)
+    return system, result
+
+
+def test_tracing_disabled_by_default():
+    system = GPUSystem(small_system(ModelName.SBRP))
+    assert system.tracer is NULL_TRACER
+    with pytest.raises(SimulationError):
+        system.trace_report()
+
+
+def test_traced_run_is_cycle_identical_to_untraced(model):
+    _, traced = run(model, True)
+    untraced_system, untraced = run(model, False)
+    assert traced.cycles == untraced.cycles
+    assert untraced_system.tracer.event_count() == 0
+
+
+def test_tracer_adds_no_stats_counters(model):
+    traced_system, _ = run(model, True)
+    untraced_system, _ = run(model, False)
+    assert traced_system.stats.snapshot() == untraced_system.stats.snapshot()
+
+
+def test_trace_argument_forms():
+    cfg = small_system(ModelName.SBRP)
+    assert GPUSystem(cfg, trace=TraceConfig(capacity=10)).tracer.capacity == 10
+    tracer = Tracer(TraceConfig())
+    assert GPUSystem(cfg, trace=tracer).tracer is tracer
+    assert GPUSystem(cfg, trace=True).tracer.enabled
+    with pytest.raises(SimulationError):
+        GPUSystem(cfg, trace="yes")
+
+
+def test_persist_lifecycle_is_ordered(model):
+    system, _ = run(model, True)
+    tracer = system.tracer
+    assert tracer.persist_count > 0
+    assert len(tracer.persists) == tracer.persist_count
+    for record in tracer.persists:
+        assert record.t_store <= record.t_drain
+        assert record.t_drain <= record.t_accept <= record.t_ack
+    # Every buffered persist reached durability after the final drain.
+    assert not tracer._open_persists
+
+
+def test_sbrp_traces_pb_occupancy_and_delays():
+    system, _ = run(ModelName.SBRP, True)
+    tracer = system.tracer
+    tracks = {track for track, name, _, _ in tracer.counters if name == "pb_occupancy"}
+    assert tracks, "SBRP runs must emit PB occupancy counters"
+    # dFence forces drains within the run: buffer-phase latencies exist.
+    assert tracer.phase_hist["buffer"].count == tracer.persist_count
+
+
+def test_stall_attribution_reconciles(model):
+    system, result = run(model, True)
+    trace = chrome_trace(system.tracer, config=system.config, cycles=system.now)
+    recon = reconcile(trace)
+    # Attribution vs measured warp residency is exact by construction.
+    assert recon["attributed"] == pytest.approx(recon["residency"])
+    # Trace span vs end-to-end cycles: the acceptance criterion (±1%).
+    assert recon["span_ratio"] == pytest.approx(1.0, abs=0.01)
+    assert recon["cycles"] >= result.cycles
+
+
+def test_fence_stalls_attributed_per_model(model):
+    system, _ = run(model, True)
+    dfence_cycles = sum(
+        cats.get("dfence", 0.0) for cats in system.tracer.stall_totals.values()
+    )
+    assert dfence_cycles > 0
