@@ -9,19 +9,23 @@ from repro.bench.ablations import ablation_coalescing, ablation_drain_policy
 from conftest import emit
 
 
-def test_ablation_drain_policy(benchmark, preset):
+def test_ablation_drain_policy(benchmark, preset, executor):
     table = benchmark.pedantic(
-        ablation_drain_policy, args=(preset,), rounds=1, iterations=1
+        ablation_drain_policy,
+        args=(preset,),
+        kwargs={"executor": executor},
+        rounds=1,
+        iterations=1,
     )
     emit(table)
     assert table.rows
 
 
-def test_ablation_coalescing(benchmark, preset):
+def test_ablation_coalescing(benchmark, preset, executor):
     table = benchmark.pedantic(
         ablation_coalescing,
         args=(preset,),
-        kwargs={"apps": ["gpkvs", "scan"]},
+        kwargs={"apps": ["gpkvs", "scan"], "executor": executor},
         rounds=1,
         iterations=1,
     )

@@ -9,11 +9,11 @@ from repro.bench import figure10b
 from conftest import emit
 
 
-def test_figure10b(benchmark, preset, trace_dir):
+def test_figure10b(benchmark, preset, trace_dir, executor):
     table = benchmark.pedantic(
         figure10b,
         args=(preset,),
-        kwargs={"trace_dir": trace_dir},
+        kwargs={"trace_dir": trace_dir, "executor": executor},
         rounds=1,
         iterations=1,
     )

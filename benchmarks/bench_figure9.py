@@ -9,11 +9,11 @@ from repro.bench import figure9
 from conftest import emit
 
 
-def test_figure9(benchmark, preset, trace_dir):
+def test_figure9(benchmark, preset, trace_dir, executor):
     table = benchmark.pedantic(
         figure9,
         args=(preset,),
-        kwargs={"trace_dir": trace_dir},
+        kwargs={"trace_dir": trace_dir, "executor": executor},
         rounds=1,
         iterations=1,
     )

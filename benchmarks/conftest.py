@@ -5,11 +5,21 @@ workload preset (full Table 1 machine, scaled-down inputs), prints the
 resulting table (visible with ``pytest -s``), and appends it to
 ``figures_output.txt`` next to this file so the tables survive pytest's
 output capture.
+
+All benchmarks share one :class:`repro.exec.Executor`, so baselines that
+recur across figures simulate once per session and — with the default
+result cache — once per code version ever.  Control it with::
+
+    pytest benchmarks/ --workers 4            # parallel fan-out
+    pytest benchmarks/ --cache-dir /tmp/c     # explicit cache root
+    pytest benchmarks/ --no-cache             # always re-simulate
 """
 
 import pathlib
 
 import pytest
+
+from repro.exec import Executor, ResultCache, default_cache_dir
 
 FIGURES_FILE = pathlib.Path(__file__).parent / "figures_output.txt"
 
@@ -23,6 +33,28 @@ def pytest_addoption(parser):
             "directory for per-scenario Chrome/Perfetto traces and "
             "counter CSVs (tracing is off without it)"
         ),
+    )
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=1,
+        help="worker processes for scenario execution (1 = serial)",
+    )
+    parser.addoption(
+        "--cache-dir",
+        action="store",
+        default=None,
+        help=(
+            "scenario-result cache root "
+            "(default: $REPRO_CACHE_DIR or ~/.cache/repro-sbrp)"
+        ),
+    )
+    parser.addoption(
+        "--no-cache",
+        action="store_true",
+        default=False,
+        help="disable the scenario-result cache",
     )
 
 
@@ -40,6 +72,19 @@ def preset() -> str:
 @pytest.fixture(scope="session")
 def trace_dir(request):
     return request.config.getoption("--trace-dir")
+
+
+@pytest.fixture(scope="session")
+def executor(request) -> Executor:
+    """One executor per benchmark session: dedupe + cache + workers."""
+    cache = None
+    if not request.config.getoption("--no-cache"):
+        root = request.config.getoption("--cache-dir")
+        cache = ResultCache(root if root is not None else default_cache_dir())
+    return Executor(
+        workers=request.config.getoption("--workers"),
+        cache=cache,
+    )
 
 
 def emit(table) -> None:

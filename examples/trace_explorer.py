@@ -17,7 +17,7 @@ Run:  python examples/trace_explorer.py [output-dir]
 import sys
 from pathlib import Path
 
-from repro.bench.runner import run_scenario, scenario_config
+from repro.bench.runner import run_scenario, scenario_config, scenario_stem
 from repro.bench.workloads import workload
 from repro.common.config import ModelName, PMPlacement
 
@@ -25,13 +25,14 @@ from repro.common.config import ModelName, PMPlacement
 def main() -> None:
     out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("traces")
     config = scenario_config(ModelName.SBRP, PMPlacement.FAR)
+    params = workload("reduction", "quick")
     result = run_scenario(
         "reduction",
         config,
-        workload("reduction", "quick"),
+        params,
         trace_dir=str(out),
     )
-    stem = out / f"reduction-{config.label}"
+    stem = out / scenario_stem("reduction", config, params)
     print(f"reduction @ {config.label}: {result.cycles:.0f} cycles")
     print(f"wrote {stem}.trace.json (load at https://ui.perfetto.dev)")
     print(f"wrote {stem}.counters.csv")

@@ -21,7 +21,12 @@ from repro.bench.figures import (
     figure10c,
     figure11,
 )
-from repro.bench.runner import ScenarioResult, run_scenario
+from repro.bench.runner import (
+    ScenarioResult,
+    run_scenario,
+    scenario_config,
+    scenario_stem,
+)
 from repro.bench.workloads import WORKLOADS, workload
 
 __all__ = [
@@ -36,5 +41,7 @@ __all__ = [
     "figure8",
     "figure9",
     "run_scenario",
+    "scenario_config",
+    "scenario_stem",
     "workload",
 ]

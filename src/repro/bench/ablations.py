@@ -2,9 +2,11 @@
 
 * :func:`ablation_drain_policy` — eager vs lazy vs window drain
   (Section 6.2 compares these qualitatively; this quantifies them).
-* :func:`ablation_tracking_granularity` — per-warp Warp BM vs
-  "no FSM" (every ordering point charged to all warps), quantifying the
-  false ordering the paper's three masks exist to avoid.
+* :func:`ablation_coalescing` — how much write coalescing the persist
+  buffer achieves.
+
+Like the figure drivers, ablations declare jobs and submit them through
+a shared :class:`~repro.exec.Executor`.
 """
 
 from __future__ import annotations
@@ -13,13 +15,19 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.bench.report import FigureTable
-from repro.bench.runner import run_scenario, scenario_config
+from repro.bench.runner import scenario_config
 from repro.bench.workloads import APP_ORDER, workload
 from repro.common.config import DrainPolicy, ModelName, PMPlacement
+from repro.exec.executor import Executor
+from repro.exec.jobs import ScenarioJob
+
+from repro.bench.figures import _submit
 
 
 def ablation_drain_policy(
-    preset: str = "quick", apps: Optional[List[str]] = None
+    preset: str = "quick",
+    apps: Optional[List[str]] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureTable:
     """Speedup of each drain policy over epoch-near (SBRP-near)."""
     names = apps if apps is not None else list(APP_ORDER)
@@ -30,22 +38,37 @@ def ablation_drain_policy(
         labels,
     )
     epoch_cfg = scenario_config(ModelName.EPOCH, PMPlacement.NEAR)
+    jobs = []
     for app in names:
         params = workload(app, preset)
-        epoch = run_scenario(app, epoch_cfg, params).cycles
-        row = {}
+        jobs.append(
+            ((app, "epoch"), ScenarioJob(app=app, config=epoch_cfg, app_params=params))
+        )
         for policy in DrainPolicy:
             cfg = scenario_config(ModelName.SBRP, PMPlacement.NEAR)
             cfg = replace(
                 cfg, sbrp=replace(cfg.sbrp, drain_policy=policy)
             ).validate()
-            row[policy.value] = epoch / run_scenario(app, cfg, params).cycles
-        table.add_row(app, row)
+            jobs.append(
+                ((app, policy.value), ScenarioJob(app=app, config=cfg, app_params=params))
+            )
+    results = _submit(executor, jobs)
+    for app in names:
+        epoch = results[(app, "epoch")].cycles
+        table.add_row(
+            app,
+            {
+                policy.value: epoch / results[(app, policy.value)].cycles
+                for policy in DrainPolicy
+            },
+        )
     return table
 
 
 def ablation_coalescing(
-    preset: str = "quick", apps: Optional[List[str]] = None
+    preset: str = "quick",
+    apps: Optional[List[str]] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureTable:
     """How much write coalescing the persist buffer achieves: persists
     issued vs lines actually drained (higher ratio = more coalescing)."""
@@ -55,11 +78,20 @@ def ablation_coalescing(
         "app",
         ["stores", "lines", "coalescing"],
     )
-    for app in names:
-        params = workload(app, preset)
-        result = run_scenario(
-            app, scenario_config(ModelName.SBRP, PMPlacement.NEAR), params
+    jobs = [
+        (
+            app,
+            ScenarioJob(
+                app=app,
+                config=scenario_config(ModelName.SBRP, PMPlacement.NEAR),
+                app_params=workload(app, preset),
+            ),
         )
+        for app in names
+    ]
+    results = _submit(executor, jobs)
+    for app in names:
+        result = results[app]
         stores = result.stat("store.pm_lines")
         lines = max(1.0, result.stat("persist.lines"))
         table.add_row(

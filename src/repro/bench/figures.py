@@ -5,19 +5,27 @@ rows/series mirror the paper's plot, so ``print(table.to_ascii())``
 reproduces the figure as a table.  All speedups are "higher is better"
 and use the paper's baselines (epoch-far for Figure 6; epoch-near for
 the sensitivity studies; epoch for recovery).
+
+Drivers declare their scenario sets as :class:`~repro.exec.ScenarioJob`
+lists and submit them through an :class:`~repro.exec.Executor` in one
+batch — so a shared executor deduplicates the baselines that recur
+across figures, a result cache skips anything ever simulated, and
+``workers > 1`` fans the batch out across processes.  Passing no
+executor gives a plain serial, uncached run (the byte-identical
+reference path).
 """
 
 from __future__ import annotations
 
 from statistics import geometric_mean
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.apps import build_app
 from repro.bench.report import FigureTable
-from repro.bench.runner import run_scenario, scenario_config
+from repro.bench.runner import ScenarioResult, scenario_config
 from repro.bench.workloads import APP_ORDER, SCOPED_APPS, workload
 from repro.common.config import ModelName, PMPlacement
-from repro.crash import CrashHarness
+from repro.exec.executor import Executor
+from repro.exec.jobs import MODE_RECOVERY, ScenarioJob
 
 _FAR = PMPlacement.FAR
 _NEAR = PMPlacement.NEAR
@@ -30,6 +38,20 @@ def _apps(apps: Optional[List[str]]) -> List[str]:
 def _tag(label: str) -> str:
     """Sweep label -> filesystem-friendly trace tag."""
     return label.replace("%", "pct").replace(" ", "_")
+
+
+def _executor(executor: Optional[Executor]) -> Executor:
+    """The given executor, or a fresh serial uncached one."""
+    return executor if executor is not None else Executor(workers=1)
+
+
+def _submit(
+    executor: Optional[Executor],
+    jobs: Sequence[Tuple[object, ScenarioJob]],
+) -> Dict[object, ScenarioResult]:
+    """Submit ``(slot, job)`` pairs in order; map slots to results."""
+    results = _executor(executor).submit([job for _, job in jobs])
+    return {slot: result for (slot, _), result in zip(jobs, results)}
 
 
 def _with_mean(table: FigureTable, keys: List[str]) -> None:
@@ -46,6 +68,7 @@ def figure6(
     preset: str = "quick",
     apps: Optional[List[str]] = None,
     trace_dir: Optional[str] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureTable:
     """Figure 6: speedup over epoch-far of GPM / SBRP-far / epoch-near /
     SBRP-near for every application."""
@@ -59,12 +82,22 @@ def figure6(
         "Epoch-near": scenario_config(ModelName.EPOCH, _NEAR),
         "SBRP-near": scenario_config(ModelName.SBRP, _NEAR),
     }
+    jobs = [
+        (
+            (app, label),
+            ScenarioJob(
+                app=app,
+                config=cfg,
+                app_params=workload(app, preset),
+                trace_dir=trace_dir,
+            ),
+        )
+        for app in names
+        for label, cfg in scenarios.items()
+    ]
+    results = _submit(executor, jobs)
     for app in names:
-        params = workload(app, preset)
-        cycles = {
-            label: run_scenario(app, cfg, params, trace_dir=trace_dir).cycles
-            for label, cfg in scenarios.items()
-        }
+        cycles = {label: results[(app, label)].cycles for label in scenarios}
         base = cycles["Epoch-far"]
         table.add_row(app, {label: base / c for label, c in cycles.items()})
     _with_mean(table, names)
@@ -75,6 +108,7 @@ def figure7(
     preset: str = "quick",
     apps: Optional[List[str]] = None,
     trace_dir: Optional[str] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureTable:
     """Figure 7: contribution of buffers vs scopes to SBRP's speedup.
 
@@ -90,31 +124,40 @@ def figure7(
         "SBRP-near scopes",
     ]
     table = FigureTable("Figure 7: speedup breakdown (fraction)", "app", series)
+    jobs = []
     for app in names:
         params = workload(app, preset)
-        values: Dict[str, float] = {}
         for placement, tag in ((_FAR, "far"), (_NEAR, "near")):
-            epoch = run_scenario(
-                app,
-                scenario_config(ModelName.EPOCH, placement),
-                params,
-                trace_dir=trace_dir,
-            ).cycles
-            full = run_scenario(
-                app,
-                scenario_config(ModelName.SBRP, placement),
-                params,
-                trace_dir=trace_dir,
-            ).cycles
-            demoted = run_scenario(
-                app,
-                scenario_config(
-                    ModelName.SBRP, placement, demote_block_scope=True
+            variants = {
+                "epoch": (scenario_config(ModelName.EPOCH, placement), None),
+                "full": (scenario_config(ModelName.SBRP, placement), None),
+                "demoted": (
+                    scenario_config(
+                        ModelName.SBRP, placement, demote_block_scope=True
+                    ),
+                    "demoted",
                 ),
-                params,
-                trace_dir=trace_dir,
-                trace_tag="demoted",
-            ).cycles
+            }
+            for variant, (cfg, trace_tag) in variants.items():
+                jobs.append(
+                    (
+                        (app, tag, variant),
+                        ScenarioJob(
+                            app=app,
+                            config=cfg,
+                            app_params=params,
+                            trace_dir=trace_dir,
+                            trace_tag=trace_tag,
+                        ),
+                    )
+                )
+    results = _submit(executor, jobs)
+    for app in names:
+        values: Dict[str, float] = {}
+        for tag in ("far", "near"):
+            epoch = results[(app, tag, "epoch")].cycles
+            full = results[(app, tag, "full")].cycles
+            demoted = results[(app, tag, "demoted")].cycles
             total_gain = max(1e-9, epoch / full - 1.0)
             buffer_gain = max(0.0, epoch / demoted - 1.0)
             buffers = min(1.0, buffer_gain / total_gain)
@@ -128,6 +171,7 @@ def figure8(
     preset: str = "quick",
     apps: Optional[List[str]] = None,
     trace_dir: Optional[str] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureTable:
     """Figure 8: L1 read misses for NVM data, normalized to epoch-far
     (lower is better)."""
@@ -142,13 +186,24 @@ def figure8(
         "Epoch-near": scenario_config(ModelName.EPOCH, _NEAR),
         "SBRP-near": scenario_config(ModelName.SBRP, _NEAR),
     }
+    jobs = [
+        (
+            (app, label),
+            ScenarioJob(
+                app=app,
+                config=cfg,
+                app_params=workload(app, preset),
+                trace_dir=trace_dir,
+            ),
+        )
+        for app in names
+        for label, cfg in scenarios.items()
+    ]
+    results = _submit(executor, jobs)
     for app in names:
-        params = workload(app, preset)
         misses = {
-            label: run_scenario(app, cfg, params, trace_dir=trace_dir).stat(
-                "l1.read_miss_pm"
-            )
-            for label, cfg in scenarios.items()
+            label: results[(app, label)].stat("l1.read_miss_pm")
+            for label in scenarios
         }
         base = max(1.0, misses["Epoch-far"])
         table.add_row(app, {label: m / base for label, m in misses.items()})
@@ -159,27 +214,34 @@ def figure9(
     preset: str = "quick",
     apps: Optional[List[str]] = None,
     trace_dir: Optional[str] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureTable:
     """Figure 9: SBRP-far speedup over epoch-far when the PM-far host is
     eADR-equipped (persists durable at the host LLC)."""
     names = _apps(apps)
     table = FigureTable("Figure 9: SBRP-far speedup with eADR", "app", ["SBRP-far"])
+    scenarios = {
+        "epoch": scenario_config(ModelName.EPOCH, _FAR, eadr=True),
+        "sbrp": scenario_config(ModelName.SBRP, _FAR, eadr=True),
+    }
+    jobs = [
+        (
+            (app, variant),
+            ScenarioJob(
+                app=app,
+                config=cfg,
+                app_params=workload(app, preset),
+                trace_dir=trace_dir,
+                trace_tag="eadr",
+            ),
+        )
+        for app in names
+        for variant, cfg in scenarios.items()
+    ]
+    results = _submit(executor, jobs)
     for app in names:
-        params = workload(app, preset)
-        epoch = run_scenario(
-            app,
-            scenario_config(ModelName.EPOCH, _FAR, eadr=True),
-            params,
-            trace_dir=trace_dir,
-            trace_tag="eadr",
-        ).cycles
-        sbrp = run_scenario(
-            app,
-            scenario_config(ModelName.SBRP, _FAR, eadr=True),
-            params,
-            trace_dir=trace_dir,
-            trace_tag="eadr",
-        ).cycles
+        epoch = results[(app, "epoch")].cycles
+        sbrp = results[(app, "sbrp")].cycles
         table.add_row(app, {"SBRP-far": epoch / sbrp})
     _with_mean(table, names)
     return table
@@ -193,34 +255,55 @@ def _sensitivity(
     preset: str,
     apps: Optional[List[str]],
     trace_dir: Optional[str] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureTable:
     """Common shape of Figures 10a-c: SBRP-near speedup over epoch-near
     as one SBRP knob sweeps."""
     names = _apps(apps)
     table = FigureTable(name, "app", labels)
     epoch_cfg = scenario_config(ModelName.EPOCH, _NEAR)
+    jobs = []
     for app in names:
         params = workload(app, preset)
-        epoch = run_scenario(app, epoch_cfg, params, trace_dir=trace_dir).cycles
-        row = {}
+        jobs.append(
+            (
+                (app, "epoch"),
+                ScenarioJob(
+                    app=app,
+                    config=epoch_cfg,
+                    app_params=params,
+                    trace_dir=trace_dir,
+                ),
+            )
+        )
         for value, label in zip(values, labels):
             cfg = scenario_config(ModelName.SBRP, _NEAR, **{knob: value})
-            row[label] = (
-                epoch
-                / run_scenario(
-                    app,
-                    cfg,
-                    params,
-                    trace_dir=trace_dir,
-                    trace_tag=f"{knob}_{_tag(label)}",
-                ).cycles
+            jobs.append(
+                (
+                    (app, label),
+                    ScenarioJob(
+                        app=app,
+                        config=cfg,
+                        app_params=params,
+                        trace_dir=trace_dir,
+                        trace_tag=f"{knob}_{_tag(label)}",
+                    ),
+                )
             )
-        table.add_row(app, row)
+    results = _submit(executor, jobs)
+    for app in names:
+        epoch = results[(app, "epoch")].cycles
+        table.add_row(
+            app,
+            {label: epoch / results[(app, label)].cycles for label in labels},
+        )
     _with_mean(table, names)
     return table
 
 
-def figure10a(preset: str = "quick", apps=None, trace_dir=None) -> FigureTable:
+def figure10a(
+    preset: str = "quick", apps=None, trace_dir=None, executor=None
+) -> FigureTable:
     """Figure 10a: SBRP-near speedup vs persist-buffer size (fraction of
     L1 lines covered)."""
     return _sensitivity(
@@ -231,10 +314,13 @@ def figure10a(preset: str = "quick", apps=None, trace_dir=None) -> FigureTable:
         preset,
         apps,
         trace_dir,
+        executor,
     )
 
 
-def figure10b(preset: str = "quick", apps=None, trace_dir=None) -> FigureTable:
+def figure10b(
+    preset: str = "quick", apps=None, trace_dir=None, executor=None
+) -> FigureTable:
     """Figure 10b: SBRP-near speedup vs NVM bandwidth scaling."""
     names = _apps(apps)
     labels = ["50%", "100%", "200%"]
@@ -243,32 +329,41 @@ def figure10b(preset: str = "quick", apps=None, trace_dir=None) -> FigureTable:
         "app",
         labels,
     )
+    jobs = []
     for app in names:
         params = workload(app, preset)
-        row = {}
         for scale, label in zip([0.5, 1.0, 2.0], labels):
             tag = f"bw_{_tag(label)}"
-            epoch = run_scenario(
-                app,
-                scenario_config(ModelName.EPOCH, _NEAR, nvm_bw_scale=scale),
-                params,
-                trace_dir=trace_dir,
-                trace_tag=tag,
-            ).cycles
-            sbrp = run_scenario(
-                app,
-                scenario_config(ModelName.SBRP, _NEAR, nvm_bw_scale=scale),
-                params,
-                trace_dir=trace_dir,
-                trace_tag=tag,
-            ).cycles
+            for variant, model in (("epoch", ModelName.EPOCH), ("sbrp", ModelName.SBRP)):
+                jobs.append(
+                    (
+                        (app, label, variant),
+                        ScenarioJob(
+                            app=app,
+                            config=scenario_config(
+                                model, _NEAR, nvm_bw_scale=scale
+                            ),
+                            app_params=params,
+                            trace_dir=trace_dir,
+                            trace_tag=tag,
+                        ),
+                    )
+                )
+    results = _submit(executor, jobs)
+    for app in names:
+        row = {}
+        for label in labels:
+            epoch = results[(app, label, "epoch")].cycles
+            sbrp = results[(app, label, "sbrp")].cycles
             row[label] = epoch / sbrp
         table.add_row(app, row)
     _with_mean(table, names)
     return table
 
 
-def figure10c(preset: str = "quick", apps=None, trace_dir=None) -> FigureTable:
+def figure10c(
+    preset: str = "quick", apps=None, trace_dir=None, executor=None
+) -> FigureTable:
     """Figure 10c: SBRP-near speedup vs drain window size."""
     return _sensitivity(
         "Figure 10c: window-size sweep (SBRP-near speedup over epoch-near)",
@@ -278,6 +373,7 @@ def figure10c(preset: str = "quick", apps=None, trace_dir=None) -> FigureTable:
         preset,
         apps,
         trace_dir,
+        executor,
     )
 
 
@@ -285,6 +381,7 @@ def figure11(
     preset: str = "quick",
     apps: Optional[List[str]] = None,
     trace_dir: Optional[str] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureTable:
     """Figure 11: recovery-kernel runtime under epoch-near and SBRP-near
     after a worst-case crash, normalized to epoch-near (lower is
@@ -294,20 +391,28 @@ def figure11(
     the CrashHarness replays partial executions on throwaway systems, so
     its recovery runs are not traced.
     """
+    del trace_dir  # uniform signature; recovery replays are untraced
     names = _apps(apps)
     series = ["Epoch", "SBRP"]
     table = FigureTable(
         "Figure 11: normalized recovery runtime (PM-near)", "app", series
     )
+    jobs = [
+        (
+            (app, label),
+            ScenarioJob(
+                app=app,
+                config=scenario_config(model, _NEAR),
+                app_params=workload(app, preset),
+                mode=MODE_RECOVERY,
+            ),
+        )
+        for app in names
+        for label, model in (("Epoch", ModelName.EPOCH), ("SBRP", ModelName.SBRP))
+    ]
+    results = _submit(executor, jobs)
     for app in names:
-        params = workload(app, preset)
-        cycles = {}
-        for label, model in (("Epoch", ModelName.EPOCH), ("SBRP", ModelName.SBRP)):
-            harness = CrashHarness(
-                lambda a=app, p=params: build_app(a, **p),
-                scenario_config(model, _NEAR),
-            )
-            cycles[label] = harness.recovery_cycles_at_worst_case()
+        cycles = {label: results[(app, label)].cycles for label in series}
         base = max(1.0, cycles["Epoch"])
         table.add_row(app, {label: c / base for label, c in cycles.items()})
     _with_mean(table, names)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.apps import build_app
 from repro.common.config import (
@@ -13,6 +13,7 @@ from repro.common.config import (
     SBRPConfig,
     SystemConfig,
     paper_system,
+    stable_hash,
 )
 from repro.system import GPUSystem
 
@@ -31,6 +32,26 @@ class ScenarioResult:
 
     def stat(self, name: str, default: float = 0.0) -> float:
         return self.stats.get(name, default)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-JSON form; :meth:`from_json` reverses it exactly."""
+        return {
+            "app": self.app,
+            "label": self.label,
+            "cycles": self.cycles,
+            "stats": dict(self.stats),
+            "profile": self.profile,
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "ScenarioResult":
+        return ScenarioResult(
+            app=data["app"],
+            label=data["label"],
+            cycles=float(data["cycles"]),
+            stats={k: float(v) for k, v in data["stats"].items()},
+            profile=data.get("profile"),
+        )
 
 
 def scenario_config(
@@ -56,6 +77,31 @@ def scenario_config(
     ).validate()
 
 
+def scenario_stem(
+    app_name: str,
+    config: SystemConfig,
+    app_params: Optional[dict] = None,
+    trace_tag: Optional[str] = None,
+) -> str:
+    """Filename stem for a scenario's trace artifacts.
+
+    The stem ends in a short hash of (app, config, app_params) so sweep
+    points that share a config label but differ in any parameter —
+    including app params alone — never collide on disk.
+    """
+    digest = stable_hash(
+        {
+            "app": app_name,
+            "config": config.to_dict(),
+            "app_params": dict(app_params or {}),
+        }
+    )
+    name = f"{app_name}-{config.label}"
+    if trace_tag:
+        name += f"-{trace_tag}"
+    return f"{name}-{digest[:8]}"
+
+
 def run_scenario(
     app_name: str,
     config: SystemConfig,
@@ -69,9 +115,10 @@ def run_scenario(
 
     With ``trace=True`` (implied by ``trace_dir``) the run is traced and
     the result carries an ASCII profile.  ``trace_dir`` additionally
-    writes ``{app}-{label}.trace.json`` (Chrome/Perfetto) and
-    ``{app}-{label}.counters.csv`` into that directory; *trace_tag*
-    disambiguates sweep points that share a config label.
+    writes ``{stem}.trace.json`` (Chrome/Perfetto) and
+    ``{stem}.counters.csv`` into that directory, with the stem from
+    :func:`scenario_stem`; *trace_tag* adds a human-readable marker for
+    sweep points that share a config label.
     """
     traced = trace or trace_dir is not None
     system = GPUSystem(config, trace=traced)
@@ -86,10 +133,10 @@ def run_scenario(
         profile = system.trace_report()
         if trace_dir is not None:
             os.makedirs(trace_dir, exist_ok=True)
-            name = f"{app_name}-{config.label}"
-            if trace_tag:
-                name += f"-{trace_tag}"
-            stem = os.path.join(trace_dir, name)
+            stem = os.path.join(
+                trace_dir,
+                scenario_stem(app_name, config, app_params, trace_tag),
+            )
             system.write_trace(stem + ".trace.json")
             system.write_trace_csv(stem + ".counters.csv")
     return ScenarioResult(

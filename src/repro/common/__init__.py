@@ -14,6 +14,7 @@ from repro.common.config import (
     SBRPConfig,
     Scope,
     SystemConfig,
+    stable_hash,
 )
 from repro.common.errors import (
     ConfigError,
@@ -50,4 +51,5 @@ __all__ = [
     "cycles_to_ns",
     "gbps_to_bytes_per_cycle",
     "ns_to_cycles",
+    "stable_hash",
 ]

@@ -22,11 +22,34 @@ persistency-model comparison.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Optional
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Optional
 
 from repro.common.errors import ConfigError
 from repro.common.units import ns_to_cycles
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 of the canonical JSON encoding of *obj*.
+
+    Canonical means sorted keys, no whitespace, and enums collapsed to
+    their values — so the same logical object always hashes the same,
+    across processes and interpreter runs (unlike ``hash()``).
+    """
+
+    def _plain(value: Any) -> Any:
+        if isinstance(value, enum.Enum):
+            return value.value
+        if isinstance(value, dict):
+            return {k: _plain(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [_plain(v) for v in value]
+        return value
+
+    text = json.dumps(_plain(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 class Scope(enum.Enum):
@@ -207,6 +230,41 @@ class SystemConfig:
 
     def with_placement(self, placement: PMPlacement) -> "SystemConfig":
         return replace(self, memory=replace(self.memory, placement=placement))
+
+    # ------------------------------------------------------------------
+    # serialization / content addressing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form: nested dicts with enums as their values."""
+        raw = asdict(self)
+        raw["model"] = self.model.value
+        raw["memory"]["placement"] = self.memory.placement.value
+        raw["sbrp"]["drain_policy"] = self.sbrp.drain_policy.value
+        return raw
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "SystemConfig":
+        """Rebuild a validated config from :meth:`to_dict` output."""
+        memory = dict(data["memory"])
+        memory["placement"] = PMPlacement(memory["placement"])
+        sbrp = dict(data["sbrp"])
+        sbrp["drain_policy"] = DrainPolicy(sbrp["drain_policy"])
+        return SystemConfig(
+            model=ModelName(data["model"]),
+            gpu=GPUConfig(**data["gpu"]),
+            memory=MemoryConfig(**memory),
+            sbrp=SBRPConfig(**sbrp),
+            seed=data.get("seed", 0),
+        ).validate()
+
+    def cache_key(self) -> str:
+        """Stable content hash of the full configuration.
+
+        Every field of every sub-config participates, so the key changes
+        whenever any timing-relevant parameter changes and two configs
+        with equal fields always share a key.
+        """
+        return stable_hash(self.to_dict())
 
 
 def paper_system(

@@ -1,0 +1,52 @@
+"""Scenario-execution subsystem: jobs, result cache, worker pool.
+
+The paper's evaluation is hundreds of independent simulator runs; this
+subpackage turns them into schedulable work:
+
+* :mod:`~repro.exec.jobs` — :class:`ScenarioJob`, a serializable spec of
+  one measurement with a stable content hash (config + app params +
+  code-version fingerprint);
+* :mod:`~repro.exec.cache` — :class:`ResultCache`, a content-addressed
+  on-disk store so any scenario ever simulated is never re-simulated
+  (``python -m repro.exec.cache`` to inspect/prune/clear);
+* :mod:`~repro.exec.pool` — :class:`WorkerPool`, process-per-job
+  parallelism with per-job timeout, bounded retry with backoff, and
+  crash isolation;
+* :mod:`~repro.exec.executor` — :class:`Executor`, the shared front end
+  (memo + cache + pool, serial fallback at ``workers=1``) the figure
+  drivers submit through;
+* :mod:`~repro.exec.sweep` — ``python -m repro.exec.sweep`` runs the
+  full paper evaluation end-to-end.
+"""
+
+from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from repro.exec.executor import (
+    ExecStats,
+    Executor,
+    JobFailedError,
+    execute_job_payload,
+)
+from repro.exec.jobs import (
+    MODE_RECOVERY,
+    MODE_SCENARIO,
+    ScenarioJob,
+    code_fingerprint,
+)
+from repro.exec.pool import JobOutcome, PoolEvent, WorkerPool
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExecStats",
+    "Executor",
+    "JobFailedError",
+    "JobOutcome",
+    "MODE_RECOVERY",
+    "MODE_SCENARIO",
+    "PoolEvent",
+    "ResultCache",
+    "ScenarioJob",
+    "WorkerPool",
+    "code_fingerprint",
+    "default_cache_dir",
+    "execute_job_payload",
+]

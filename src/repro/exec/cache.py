@@ -1,0 +1,219 @@
+"""Content-addressed on-disk result cache.
+
+Layout (under the cache root)::
+
+    ab/abcdef01....json      # one JSON payload per job key, sharded by
+                             # the key's first two hex chars
+
+Each payload stores the job spec, the serialized
+:class:`~repro.bench.runner.ScenarioResult`, and the code fingerprint
+the result was produced under.  Keys already include the fingerprint
+(see :meth:`ScenarioJob.key`), so stale entries are never *served* after
+a code change — ``prune`` exists to reclaim their disk space.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers
+and interrupted runs can never leave a half-written payload that a later
+run would trust; unreadable payloads are treated as misses.
+
+CLI::
+
+    python -m repro.exec.cache info            # entry count, size, dir
+    python -m repro.exec.cache ls              # one line per entry
+    python -m repro.exec.cache prune           # drop stale-code entries
+    python -m repro.exec.cache clear           # drop everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
+
+from repro.exec.jobs import ScenarioJob, code_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bench.runner import ScenarioResult
+
+#: Override with the ``REPRO_CACHE_DIR`` environment variable.
+DEFAULT_CACHE_DIR = os.path.join(
+    os.path.expanduser("~"), ".cache", "repro-sbrp"
+)
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """Maps job keys to persisted :class:`ScenarioResult` payloads."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = Path(root if root is not None else default_cache_dir())
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def load_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw payload for *key*, or None on miss/corruption."""
+        try:
+            with self.path(key).open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or "result" not in payload:
+            return None
+        return payload
+
+    def get(self, job: ScenarioJob) -> Optional["ScenarioResult"]:
+        from repro.bench.runner import ScenarioResult
+
+        payload = self.load_payload(job.key)
+        if payload is None:
+            return None
+        try:
+            return ScenarioResult.from_json(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def __contains__(self, job: ScenarioJob) -> bool:
+        return self.path(job.key).exists()
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def put(self, job: ScenarioJob, result: "ScenarioResult") -> Path:
+        """Atomically persist *result* under *job*'s key."""
+        target = self.path(job.key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": job.key,
+            "spec_hash": job.spec_hash,
+            "code": code_fingerprint(),
+            "job": job.to_json(),
+            "result": result.to_json(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=target.parent, prefix=f".{job.key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return target
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _entry_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir() and len(shard.name) == 2:
+                yield from sorted(shard.glob("*.json"))
+
+    def keys(self) -> List[str]:
+        return [p.stem for p in self._entry_paths()]
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """Yield every readable payload (corrupt files are skipped)."""
+        for path in self._entry_paths():
+            payload = self.load_payload(path.stem)
+            if payload is not None:
+                yield payload
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self._entry_paths())
+
+    def prune(self) -> int:
+        """Remove entries from other code versions (and corrupt files)."""
+        current = code_fingerprint()
+        removed = 0
+        for path in list(self._entry_paths()):
+            payload = self.load_payload(path.stem)
+            if payload is None or payload.get("code") != current:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, {len(self)} entries)"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.cache",
+        description="Inspect and maintain the scenario-result cache.",
+    )
+    # --cache-dir is valid both before and after the subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--cache-dir",
+        default=argparse.SUPPRESS,  # don't clobber a pre-subcommand value
+        help=f"cache root (default: $REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help=argparse.SUPPRESS
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", parents=[common], help="entry count and total size")
+    sub.add_parser("ls", parents=[common], help="one line per cached result")
+    sub.add_parser(
+        "prune", parents=[common], help="drop entries from other code versions"
+    )
+    sub.add_parser("clear", parents=[common], help="drop every entry")
+    args = parser.parse_args(argv)
+
+    cache = ResultCache(args.cache_dir)
+    if args.command == "info":
+        print(f"cache dir : {cache.root}")
+        print(f"entries   : {len(cache)}")
+        print(f"size      : {cache.size_bytes()} bytes")
+        current = code_fingerprint()
+        stale = sum(1 for e in cache.entries() if e.get("code") != current)
+        print(f"stale     : {stale} (other code versions; `prune` reclaims)")
+    elif args.command == "ls":
+        for entry in cache.entries():
+            job = entry.get("job", {})
+            result = entry.get("result", {})
+            print(
+                f"{entry.get('key', '?')[:12]}  "
+                f"{job.get('app', '?'):10s}  "
+                f"{result.get('label', '?'):12s}  "
+                f"mode={job.get('mode', '?'):8s}  "
+                f"cycles={result.get('cycles', float('nan')):.0f}"
+            )
+    elif args.command == "prune":
+        print(f"pruned {cache.prune()} entries from {cache.root}")
+    elif args.command == "clear":
+        print(f"cleared {cache.clear()} entries from {cache.root}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

@@ -1,0 +1,268 @@
+"""The Executor: cached, deduplicated, optionally parallel job running.
+
+One :class:`Executor` is shared across figure drivers so that scenarios
+appearing in several figures (the Epoch-far / Epoch-near baselines show
+up in nearly every one) simulate **exactly once** per process — and,
+with a cache directory, exactly once *ever* per code version.
+
+Submission semantics:
+
+* results come back aligned with the submitted job list;
+* duplicate jobs (same content hash) within or across ``submit`` calls
+  are executed once (in-memory memo), cache lookups happen per unique
+  job, and only genuine misses reach the worker pool;
+* ``workers=1`` is a pure serial fallback — jobs run in-process with no
+  multiprocessing involved, which is also the byte-identical reference
+  path for the parallel scheduler.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import ScenarioJob
+from repro.exec.pool import (
+    STATUS_OK,
+    JobOutcome,
+    PoolEvent,
+    WorkerPool,
+)
+from repro.trace.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bench.runner import ScenarioResult
+
+
+class JobFailedError(RuntimeError):
+    """A submitted job failed; carries the worker's original traceback."""
+
+    def __init__(self, job: ScenarioJob, outcome: JobOutcome) -> None:
+        self.job = job
+        self.outcome = outcome
+        detail = outcome.error or "no error detail"
+        super().__init__(
+            f"job {job.label} failed ({outcome.status} after "
+            f"{outcome.attempts} attempt(s)):\n{detail}"
+        )
+
+
+def execute_job_payload(payload: dict) -> dict:
+    """Worker-side runner: JSON job in, JSON result out.
+
+    Module-level so it stays importable under every multiprocessing
+    start method.
+    """
+    return ScenarioJob.from_json(payload).execute().to_json()
+
+
+@dataclass
+class ExecStats:
+    """Counters for one Executor's lifetime."""
+
+    submitted: int = 0
+    unique: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    failed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of submissions served without a simulation."""
+        if self.submitted == 0:
+            return 0.0
+        return 1.0 - self.executed / self.submitted
+
+    def summary(self) -> str:
+        return (
+            f"{self.submitted} submitted, {self.executed} executed, "
+            f"{self.cache_hits} cache hits, {self.memo_hits} memo hits, "
+            f"{self.failed} failed ({100 * self.hit_rate:.0f}% served "
+            "without simulation)"
+        )
+
+
+class Executor:
+    """Runs :class:`ScenarioJob` sets through cache + memo + pool."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Union[ResultCache, str, None] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.5,
+        progress: Optional[Callable[[PoolEvent], None]] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.cache = ResultCache(cache) if isinstance(cache, str) else cache
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.progress = progress
+        self.tracer = tracer
+        self.stats = ExecStats()
+        self.failures: List[JobFailedError] = []
+        self._memo: Dict[str, "ScenarioResult"] = {}
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # progress plumbing
+    # ------------------------------------------------------------------
+    def _emit(self, event: PoolEvent) -> None:
+        """Fan a pool event out to the callback and the tracer.
+
+        With a tracer attached, executor progress lands on an ``exec``
+        counter track (jobs done / in flight over wall-clock seconds),
+        viewable alongside simulation traces in Perfetto.
+        """
+        if self.progress is not None:
+            self.progress(event)
+        if self.tracer is not None and self.tracer.enabled:
+            ts = time.monotonic() - self._t0
+            self.tracer.counter("exec", "jobs_done", ts, event.done)
+            if event.kind == "done":
+                self.tracer.instant(
+                    "exec", f"{event.label}:{event.status}", ts
+                )
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        jobs: Sequence[ScenarioJob],
+        allow_failures: bool = False,
+    ) -> List[Optional["ScenarioResult"]]:
+        """Run *jobs*, returning results in submission order.
+
+        A failed job raises :class:`JobFailedError` (the first failure,
+        with the worker's original traceback) unless *allow_failures* is
+        true, in which case its slot holds ``None`` and the error is
+        appended to :attr:`failures`.
+        """
+        from repro.bench.runner import ScenarioResult
+
+        jobs = list(jobs)
+        self.stats.submitted += len(jobs)
+        keys = [job.key for job in jobs]
+
+        # Resolve memo and cache hits; collect unique misses in order.
+        misses: List[int] = []  # index of first occurrence per unique key
+        seen_this_call: Dict[str, int] = {}
+        for i, (job, key) in enumerate(zip(jobs, keys)):
+            if key in self._memo:
+                self.stats.memo_hits += 1
+                continue
+            if key in seen_this_call:
+                self.stats.memo_hits += 1
+                continue
+            if self.cache is not None and job.cacheable:
+                cached = self.cache.get(job)
+                if cached is not None:
+                    self._memo[key] = cached
+                    self.stats.cache_hits += 1
+                    continue
+            seen_this_call[key] = i
+            misses.append(i)
+        self.stats.unique += len(misses)
+
+        # Execute the misses.
+        outcomes: Dict[int, JobOutcome] = {}
+        if misses:
+            if self.workers == 1:
+                outcomes = self._run_serial([jobs[i] for i in misses], misses)
+            else:
+                outcomes = self._run_pool([jobs[i] for i in misses], misses)
+
+        for i, outcome in outcomes.items():
+            job = jobs[i]
+            if outcome.ok:
+                result = ScenarioResult.from_json(outcome.value)
+                self._memo[keys[i]] = result
+                self.stats.executed += 1
+                if self.cache is not None and job.cacheable:
+                    self.cache.put(job, result)
+            else:
+                self.stats.failed += 1
+                failure = JobFailedError(job, outcome)
+                self.failures.append(failure)
+                if not allow_failures:
+                    raise failure
+
+        return [self._memo.get(key) for key in keys]
+
+    def run(self, job: ScenarioJob) -> "ScenarioResult":
+        """Convenience wrapper: submit one job, return its result."""
+        result = self.submit([job])[0]
+        assert result is not None
+        return result
+
+    # ------------------------------------------------------------------
+    # execution backends
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self, jobs: List[ScenarioJob], indices: List[int]
+    ) -> Dict[int, JobOutcome]:
+        outcomes: Dict[int, JobOutcome] = {}
+        total = len(jobs)
+        for n, (job, index) in enumerate(zip(jobs, indices)):
+            self._emit(
+                PoolEvent(
+                    kind="start", index=index, label=job.label,
+                    done=n, total=total,
+                )
+            )
+            start = time.monotonic()
+            try:
+                value = execute_job_payload(job.to_json())
+            except Exception:
+                import traceback
+
+                outcome = JobOutcome(
+                    index=index,
+                    status="error",
+                    error=traceback.format_exc(),
+                    duration=time.monotonic() - start,
+                )
+            else:
+                outcome = JobOutcome(
+                    index=index,
+                    status=STATUS_OK,
+                    value=value,
+                    duration=time.monotonic() - start,
+                )
+            outcomes[index] = outcome
+            self._emit(
+                PoolEvent(
+                    kind="done", index=index, label=job.label,
+                    status=outcome.status, done=n + 1, total=total,
+                )
+            )
+        return outcomes
+
+    def _run_pool(
+        self, jobs: List[ScenarioJob], indices: List[int]
+    ) -> Dict[int, JobOutcome]:
+        pool = WorkerPool(
+            workers=self.workers,
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            progress=self._emit,
+        )
+        pool_outcomes = pool.run(
+            [job.to_json() for job in jobs],
+            execute_job_payload,
+            labels=[job.label for job in jobs],
+        )
+        return {
+            index: outcome
+            for index, outcome in zip(indices, pool_outcomes)
+        }

@@ -1,0 +1,183 @@
+"""Serializable scenario jobs with stable content hashes.
+
+A :class:`ScenarioJob` is everything needed to reproduce one simulator
+measurement — app name, app constructor params, the full
+:class:`~repro.common.config.SystemConfig`, and the measurement mode —
+in a form that round-trips through JSON (so jobs can cross process
+boundaries) and hashes stably (so results can be content-addressed).
+
+Two hashes matter:
+
+* :attr:`ScenarioJob.spec_hash` covers only the scenario specification.
+  It names trace artifacts and is stable across code changes.
+* :attr:`ScenarioJob.key` additionally mixes in a fingerprint of the
+  ``repro`` package's source, so cached results are invalidated the
+  moment any simulator code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
+
+from repro.common.config import SystemConfig, stable_hash
+from repro.common.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bench.runner import ScenarioResult
+
+#: Measurement modes a job can run in.
+MODE_SCENARIO = "scenario"
+#: Figure 11: worst-case crash + recovery-kernel runtime instead of a
+#: crash-free end-to-end run.
+MODE_RECOVERY = "recovery"
+
+_MODES = (MODE_SCENARIO, MODE_RECOVERY)
+
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``.py`` source file of the ``repro`` package.
+
+    Computed once per process.  Any change to simulator code changes the
+    fingerprint, which changes every job's cache key — a warm cache can
+    never serve results produced by different code.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+@dataclass(frozen=True)
+class ScenarioJob:
+    """One independent simulator measurement, ready to serialize."""
+
+    app: str
+    config: SystemConfig
+    app_params: Mapping[str, Any] = field(default_factory=dict)
+    verify: bool = True
+    mode: str = MODE_SCENARIO
+    #: Tracing turns the job non-cacheable: trace files and profiles are
+    #: side effects a cache hit could not reproduce.
+    trace: bool = False
+    trace_dir: Optional[str] = None
+    trace_tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigError(f"unknown job mode {self.mode!r}; have {_MODES}")
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> Dict[str, Any]:
+        """The hash-relevant scenario specification (no trace options)."""
+        return {
+            "app": self.app,
+            "app_params": dict(self.app_params),
+            "config": self.config.to_dict(),
+            "verify": self.verify,
+            "mode": self.mode,
+        }
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash of the scenario spec (code-version independent)."""
+        return stable_hash(self.spec)
+
+    @property
+    def key(self) -> str:
+        """Cache key: scenario spec + current code fingerprint."""
+        return stable_hash({"spec": self.spec, "code": code_fingerprint()})
+
+    @property
+    def cacheable(self) -> bool:
+        return not (self.trace or self.trace_dir is not None)
+
+    @property
+    def label(self) -> str:
+        """Human-readable name for progress output and errors."""
+        name = f"{self.app}@{self.config.label}"
+        if self.mode != MODE_SCENARIO:
+            name += f"[{self.mode}]"
+        if self.trace_tag:
+            name += f"[{self.trace_tag}]"
+        return name
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "app": self.app,
+            "app_params": dict(self.app_params),
+            "config": self.config.to_dict(),
+            "verify": self.verify,
+            "mode": self.mode,
+            "trace": self.trace,
+            "trace_dir": self.trace_dir,
+            "trace_tag": self.trace_tag,
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "ScenarioJob":
+        return ScenarioJob(
+            app=data["app"],
+            app_params=dict(data["app_params"]),
+            config=SystemConfig.from_dict(data["config"]),
+            verify=data.get("verify", True),
+            mode=data.get("mode", MODE_SCENARIO),
+            trace=data.get("trace", False),
+            trace_dir=data.get("trace_dir"),
+            trace_tag=data.get("trace_tag"),
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self) -> "ScenarioResult":
+        """Run the measurement in this process and return its result."""
+        # bench.runner is imported lazily: repro.bench's figure drivers
+        # depend on this subpackage, so the top-level import would cycle.
+        from repro.bench.runner import run_scenario
+
+        if self.mode == MODE_RECOVERY:
+            return self._execute_recovery()
+        return run_scenario(
+            self.app,
+            self.config,
+            dict(self.app_params),
+            verify=self.verify,
+            trace=self.trace,
+            trace_dir=self.trace_dir,
+            trace_tag=self.trace_tag,
+        )
+
+    def _execute_recovery(self) -> "ScenarioResult":
+        from repro.apps import build_app
+        from repro.bench.runner import ScenarioResult
+        from repro.crash import CrashHarness
+
+        harness = CrashHarness(
+            lambda: build_app(self.app, **dict(self.app_params)), self.config
+        )
+        cycles = harness.recovery_cycles_at_worst_case()
+        return ScenarioResult(
+            app=self.app,
+            label=self.config.label,
+            cycles=cycles,
+            stats={"recovery.cycles": cycles},
+        )

@@ -1,0 +1,65 @@
+"""Figure drivers on the execution subsystem: dedupe, caching, parity.
+
+These run real (quick-preset, single-app) figure scenarios, so they are
+the slowest tests in the suite — but they pin the properties the
+subsystem exists for: shared baselines simulate once, a warm cache
+means zero simulations, and worker count never changes the data.
+"""
+
+import pytest
+
+from repro.bench import figure6, figure8, figure11
+from repro.exec import Executor, ResultCache
+
+
+class TestCrossFigureDedupe:
+    def test_two_figure_run_submits_each_unique_job_exactly_once(self, tmp_path):
+        """Figure 8's four scenario configs are a subset of Figure 6's
+        five, so a shared executor must simulate only Figure 6's jobs."""
+        ex = Executor(workers=1, cache=ResultCache(str(tmp_path)))
+        figure6(preset="quick", apps=["srad"], executor=ex)
+        assert ex.stats.executed == 5  # GPM + {Epoch,SBRP} x {far,near}
+        figure8(preset="quick", apps=["srad"], executor=ex)
+        assert ex.stats.executed == 5  # nothing new: all four were memoized
+        assert ex.stats.submitted == 9
+        assert ex.stats.memo_hits == 4
+        assert ex.stats.failed == 0
+
+
+class TestWarmCache:
+    def test_second_figure_run_performs_zero_simulations(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cold = Executor(workers=1, cache=cache)
+        table1 = figure6(preset="quick", apps=["srad"], executor=cold)
+        assert cold.stats.executed == 5
+
+        warm = Executor(workers=1, cache=cache)
+        table2 = figure6(preset="quick", apps=["srad"], executor=warm)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == 5
+        assert table2.to_csv() == table1.to_csv()
+
+
+class TestWorkerParity:
+    def test_parallel_figure_matches_serial(self):
+        serial = figure6(preset="quick", apps=["reduction"])
+        parallel = figure6(
+            preset="quick",
+            apps=["reduction"],
+            executor=Executor(workers=2),
+        )
+        assert parallel.to_csv() == serial.to_csv()
+
+
+class TestRecoveryJobs:
+    def test_figure11_runs_through_executor(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        ex = Executor(workers=1, cache=cache)
+        table = figure11(preset="quick", apps=["reduction"], executor=ex)
+        assert table.cell("reduction", "Epoch") == pytest.approx(1.0)
+        assert ex.stats.executed == 2
+
+        warm = Executor(workers=1, cache=cache)
+        again = figure11(preset="quick", apps=["reduction"], executor=warm)
+        assert warm.stats.executed == 0
+        assert again.to_csv() == table.to_csv()

@@ -1,0 +1,141 @@
+"""ResultCache: storage layout, atomicity, maintenance, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import ScenarioResult, scenario_config
+from repro.common.config import ModelName, PMPlacement
+from repro.exec import ResultCache, ScenarioJob
+from repro.exec.cache import main as cache_main
+
+
+@pytest.fixture
+def job() -> ScenarioJob:
+    return ScenarioJob(
+        app="srad",
+        config=scenario_config(ModelName.SBRP, PMPlacement.NEAR),
+        app_params={"side": 32},
+    )
+
+
+@pytest.fixture
+def result() -> ScenarioResult:
+    return ScenarioResult(
+        app="srad", label="SBRP-near", cycles=42.0, stats={"persist.lines": 2.0}
+    )
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(str(tmp_path / "cache"))
+
+
+class TestStoreAndLoad:
+    def test_miss_on_empty(self, cache, job):
+        assert cache.get(job) is None
+        assert job not in cache
+        assert len(cache) == 0
+
+    def test_round_trip(self, cache, job, result):
+        cache.put(job, result)
+        assert job in cache
+        assert cache.get(job) == result
+        assert len(cache) == 1
+
+    def test_sharded_layout(self, cache, job, result):
+        path = cache.put(job, result)
+        assert path.parent.name == job.key[:2]
+        assert path.name == f"{job.key}.json"
+
+    def test_payload_records_job_and_fingerprint(self, cache, job, result):
+        path = cache.put(job, result)
+        payload = json.loads(path.read_text())
+        assert payload["key"] == job.key
+        assert payload["spec_hash"] == job.spec_hash
+        assert payload["job"]["app"] == "srad"
+        assert len(payload["code"]) == 64
+
+    def test_no_temp_file_left_behind(self, cache, job, result):
+        cache.put(job, result)
+        leftovers = [
+            p for p in cache.root.rglob("*") if p.is_file() and
+            p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+    def test_overwrite_is_idempotent(self, cache, job, result):
+        cache.put(job, result)
+        cache.put(job, result)
+        assert len(cache) == 1
+        assert cache.get(job) == result
+
+
+class TestCorruption:
+    def test_corrupt_payload_is_a_miss(self, cache, job, result):
+        path = cache.put(job, result)
+        path.write_text("{not json")
+        assert cache.get(job) is None
+
+    def test_wrong_shape_payload_is_a_miss(self, cache, job, result):
+        path = cache.put(job, result)
+        path.write_text(json.dumps({"something": "else"}))
+        assert cache.get(job) is None
+
+    def test_entries_skips_corrupt_files(self, cache, job, result):
+        path = cache.put(job, result)
+        path.write_text("{not json")
+        assert list(cache.entries()) == []
+
+
+class TestMaintenance:
+    def test_clear(self, cache, job, result):
+        cache.put(job, result)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_prune_keeps_current_code_entries(self, cache, job, result):
+        cache.put(job, result)
+        assert cache.prune() == 0
+        assert len(cache) == 1
+
+    def test_prune_drops_stale_code_entries(self, cache, job, result):
+        path = cache.put(job, result)
+        payload = json.loads(path.read_text())
+        payload["code"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        assert cache.prune() == 1
+        assert len(cache) == 0
+
+    def test_size_bytes_counts_payloads(self, cache, job, result):
+        assert cache.size_bytes() == 0
+        cache.put(job, result)
+        assert cache.size_bytes() > 0
+
+
+class TestCLI:
+    def _run(self, capsys, *argv) -> str:
+        assert cache_main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_info_and_ls(self, cache, job, result, capsys):
+        cache.put(job, result)
+        root = str(cache.root)
+        out = self._run(capsys, "--cache-dir", root, "info")
+        assert "entries   : 1" in out
+        out = self._run(capsys, "--cache-dir", root, "ls")
+        assert "srad" in out and "SBRP-near" in out
+
+    def test_prune_and_clear(self, cache, job, result, capsys):
+        cache.put(job, result)
+        root = str(cache.root)
+        out = self._run(capsys, "--cache-dir", root, "prune")
+        assert "pruned 0" in out
+        out = self._run(capsys, "--cache-dir", root, "clear")
+        assert "cleared 1" in out
+        assert len(cache) == 0
+
+    def test_env_var_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "envcache"

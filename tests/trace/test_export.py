@@ -8,11 +8,15 @@ import json
 
 import pytest
 
-from repro.bench.runner import run_scenario, scenario_config
+from repro.bench.runner import run_scenario, scenario_config, scenario_stem
 from repro.bench.workloads import workload
 from repro.common.config import ModelName, PMPlacement
 from repro.trace import load_trace, reconcile, render_report
 from repro.trace.report import main as report_main
+
+_CONFIG = scenario_config(ModelName.SBRP, PMPlacement.FAR)
+_PARAMS = workload("reduction", "quick")
+_STEM = scenario_stem("reduction", _CONFIG, _PARAMS)
 
 
 @pytest.fixture(scope="module")
@@ -21,8 +25,8 @@ def trace_dir(tmp_path_factory):
     directory = tmp_path_factory.mktemp("traces")
     run_scenario(
         "reduction",
-        scenario_config(ModelName.SBRP, PMPlacement.FAR),
-        workload("reduction", "quick"),
+        _CONFIG,
+        _PARAMS,
         trace_dir=str(directory),
     )
     return directory
@@ -30,7 +34,7 @@ def trace_dir(tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def trace_path(trace_dir):
-    return trace_dir / "reduction-SBRP-far.trace.json"
+    return trace_dir / f"{_STEM}.trace.json"
 
 
 @pytest.fixture(scope="module")
@@ -100,7 +104,7 @@ def test_report_cli(trace_path, capsys):
 
 
 def test_counter_csv_structure(trace_dir):
-    lines = (trace_dir / "reduction-SBRP-far.counters.csv").read_text().splitlines()
+    lines = (trace_dir / f"{_STEM}.counters.csv").read_text().splitlines()
     header = lines[0].split(",")
     assert header[0] == "cycle"
     assert header[1:] == sorted(header[1:])
@@ -112,11 +116,11 @@ def test_export_is_byte_deterministic(tmp_path):
     def once(directory):
         run_scenario(
             "reduction",
-            scenario_config(ModelName.SBRP, PMPlacement.FAR),
-            workload("reduction", "quick"),
+            _CONFIG,
+            _PARAMS,
             trace_dir=str(directory),
         )
-        stem = directory / "reduction-SBRP-far"
+        stem = directory / _STEM
         return (
             (stem.parent / (stem.name + ".trace.json")).read_bytes(),
             (stem.parent / (stem.name + ".counters.csv")).read_bytes(),
@@ -125,3 +129,32 @@ def test_export_is_byte_deterministic(tmp_path):
     first = once(tmp_path / "a")
     second = once(tmp_path / "b")
     assert first == second
+
+
+class TestScenarioStem:
+    def test_stem_carries_label_and_hash(self):
+        assert _STEM.startswith("reduction-SBRP-far-")
+        suffix = _STEM.rsplit("-", 1)[1]
+        assert len(suffix) == 8
+        int(suffix, 16)  # raises if not hex
+
+    def test_app_params_disambiguate_sweep_points(self, tmp_path):
+        """Regression: two sweep points differing only in app params used
+        to collide on the same trace filename."""
+        a = scenario_stem("reduction", _CONFIG, {"blocks": 2, "per_thread": 1})
+        b = scenario_stem("reduction", _CONFIG, {"blocks": 4, "per_thread": 1})
+        assert a != b
+
+    def test_trace_tag_included(self):
+        tagged = scenario_stem("reduction", _CONFIG, _PARAMS, trace_tag="eadr")
+        assert "-eadr-" in tagged
+
+    def test_trace_files_do_not_collide_on_disk(self, tmp_path):
+        for blocks in (2, 4):
+            run_scenario(
+                "reduction",
+                _CONFIG,
+                {"blocks": blocks, "per_thread": 1},
+                trace_dir=str(tmp_path),
+            )
+        assert len(list(tmp_path.glob("*.trace.json"))) == 2
