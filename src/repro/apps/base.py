@@ -20,7 +20,7 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.common.errors import RecoveryError
+from repro.common.errors import OracleViolation, RecoveryError
 from repro.gpu.device import KernelResult
 from repro.system import GPUSystem
 
@@ -79,6 +79,21 @@ class App(abc.ABC):
         during :meth:`setup` (subclasses store their allocations).
         """
         raise NotImplementedError
+
+    def oracle_check(self, system: GPUSystem, complete: bool = False) -> None:
+        """Recovery-oracle entry point for the fault campaign.
+
+        Same invariants as :meth:`check`, but violations surface as
+        :class:`~repro.common.errors.OracleViolation` so campaign
+        classification can separate "the app's invariants are broken"
+        from "the recovery kernel itself crashed" by exception type.
+        """
+        try:
+            self.check(system, complete=complete)
+        except OracleViolation:
+            raise
+        except RecoveryError as exc:
+            raise OracleViolation(str(exc)) from exc
 
     # ------------------------------------------------------------------
     # helpers

@@ -53,6 +53,16 @@ class GpKVSParams(AppParams):
     coeff_words: int = 512
     #: ALU cost of hashing a key.
     hash_cycles: int = 40
+    #: Deliberately mis-used persistency, for proving the fault
+    #: campaign's oracles have teeth.  ``""`` = correct protocol;
+    #: ``"unsealed_log"`` never seals the undo record (recovery can
+    #: restore nothing); ``"missing_ofence"`` drops the record->table
+    #: ordering fence (the Section 5.3 misuse pattern — latent under an
+    #: uncongested FIFO drain, exposed by drain-order faults);
+    #: ``"commit_first"`` clears the seal *before* overwriting the pair
+    #: (premature log truncation — any crash inside the update window
+    #: leaves a torn pair no recovery can restore).
+    seeded_bug: str = ""
 
 
 def old_value(slot: np.ndarray | int) -> np.ndarray | int:
@@ -76,6 +86,16 @@ class GpKVS(App):
             raise ValueError("n_pairs must not exceed capacity")
         if self.params.n_pairs % self.params.rounds:
             raise ValueError("n_pairs must be divisible by rounds")
+        if self.params.seeded_bug not in (
+            "",
+            "unsealed_log",
+            "missing_ofence",
+            "commit_first",
+        ):
+            raise ValueError(
+                f"unknown seeded_bug {self.params.seeded_bug!r}; "
+                "have '', 'unsealed_log', 'missing_ofence', 'commit_first'"
+            )
 
     # ------------------------------------------------------------------
     # memory layout
@@ -139,12 +159,18 @@ class GpKVS(App):
             yield w.st(self.log_key.base + 4 * op, old_k, mask=todo)
             yield w.st(self.log_val.base + 4 * op, old_v, mask=todo)
             yield w.st(self.log_slot.base + 4 * op, slot, mask=todo)
-            yield w.st(
-                self.log_seal.base + 4 * op,
-                old_k ^ old_v ^ slot ^ SEAL,
-                mask=todo,
-            )
-            yield w.ofence()
+            if p.seeded_bug != "unsealed_log":
+                yield w.st(
+                    self.log_seal.base + 4 * op,
+                    old_k ^ old_v ^ slot ^ SEAL,
+                    mask=todo,
+                )
+            if p.seeded_bug != "missing_ofence":
+                yield w.ofence()
+            if p.seeded_bug == "commit_first":
+                # BUG: the commit precedes the update it covers, so a
+                # crash inside the update window finds an invalid record.
+                yield w.st(self.log_seal.base + 4 * op, 0, mask=todo)
             # Overwrite the pair.
             yield w.compute(8)
             yield w.st(self.tbl_key.base + 4 * slot, slot + p.capacity, mask=todo)
@@ -152,7 +178,8 @@ class GpKVS(App):
             yield w.ofence()
             # Commit: clear the seal (same line as the record - the EDM
             # same-line-across-fence pattern).
-            yield w.st(self.log_seal.base + 4 * op, 0, mask=todo)
+            if p.seeded_bug != "commit_first":
+                yield w.st(self.log_seal.base + 4 * op, 0, mask=todo)
 
     def _recover_kernel(self, w, p: GpKVSParams):
         active = w.tid < p.n_pairs

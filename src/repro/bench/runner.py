@@ -29,6 +29,9 @@ class ScenarioResult:
     #: ASCII profile (stall attribution + persist lifecycle) when the
     #: scenario ran with tracing enabled; None otherwise.
     profile: Optional[str] = field(default=None, compare=False)
+    #: Mode-specific structured payload (the fault campaign stores its
+    #: per-crash-point classification here).  Must be plain JSON.
+    detail: Optional[Dict[str, Any]] = None
 
     def stat(self, name: str, default: float = 0.0) -> float:
         return self.stats.get(name, default)
@@ -41,6 +44,7 @@ class ScenarioResult:
             "cycles": self.cycles,
             "stats": dict(self.stats),
             "profile": self.profile,
+            "detail": self.detail,
         }
 
     @staticmethod
@@ -51,6 +55,7 @@ class ScenarioResult:
             cycles=float(data["cycles"]),
             stats={k: float(v) for k, v in data["stats"].items()},
             profile=data.get("profile"),
+            detail=data.get("detail"),
         )
 
 

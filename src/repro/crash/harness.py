@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from typing import Any
+
 from repro.apps.base import App, RunOutcome
 from repro.common.config import SystemConfig
 from repro.common.errors import RecoveryError
@@ -41,9 +43,18 @@ class CrashReport:
 class CrashHarness:
     """Runs an app once, then injects crashes at chosen instants."""
 
-    def __init__(self, factory: AppFactory, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        factory: AppFactory,
+        config: SystemConfig,
+        faults: Optional[Any] = None,
+    ) -> None:
         self.factory = factory
         self.config = config
+        #: Optional :class:`repro.faults.FaultInjector` applied to the
+        #: *baseline* run (and its crash images); recovery always
+        #: happens on a clean machine.
+        self.faults = faults
         self._baseline: Optional[GPUSystem] = None
         self._baseline_app: Optional[App] = None
         self._run: Optional[RunOutcome] = None
@@ -54,7 +65,7 @@ class CrashHarness:
     def baseline(self) -> GPUSystem:
         """Run the workload once (lazily); crashes replay against it."""
         if self._baseline is None:
-            system = GPUSystem(self.config)
+            system = GPUSystem(self.config, faults=self.faults)
             app = self.factory()
             app.setup(system)
             self._run = app.run(system)
@@ -82,9 +93,19 @@ class CrashHarness:
         return self._recover_from(image, complete)
 
     def crash_at_fraction(self, fraction: float, complete: bool = True) -> CrashReport:
-        """Power failure *fraction* of the way through the execution."""
+        """Power failure *fraction* of the way through the execution.
+
+        The endpoints are handled explicitly rather than through float
+        boundary behavior: ``0.0`` crashes before the first persist is
+        durable (the image is exactly the host-initialized state) and
+        ``1.0`` crashes after the final sync (everything is durable).
+        """
         if not 0 <= fraction <= 1:
             raise ValueError("fraction must be within [0, 1]")
+        if fraction == 0:
+            return self.crash_at(0.0, complete)
+        if fraction == 1:
+            return self.crash_at(self.end_time(), complete)
         return self.crash_at(self.end_time() * fraction, complete)
 
     def sweep(self, points: int = 8, complete: bool = True) -> List[CrashReport]:
@@ -92,6 +113,38 @@ class CrashHarness:
         return [
             self.crash_at_fraction(i / (points + 1), complete)
             for i in range(1, points + 1)
+        ]
+
+    def persist_boundaries(self, limit: Optional[int] = None) -> List[float]:
+        """Every instant at which the durable image changes: ``0.0``
+        (pre-first-persist) plus each distinct persist-acceptance time.
+
+        Crashing at each of these covers *every distinct durable image*
+        of the execution — the exhaustive version of :meth:`sweep`.
+        With *limit*, the list is subsampled deterministically (always
+        keeping the first and last boundary).
+        """
+        baseline = self.baseline()
+        times = [0.0] + baseline.gpu.subsystem.persist_log.boundary_times(
+            end=baseline.now
+        )
+        if limit is not None and limit > 0 and len(times) > limit:
+            if limit == 1:
+                times = [times[-1]]
+            else:
+                step = (len(times) - 1) / (limit - 1)
+                picked = {round(i * step) for i in range(limit)}
+                times = [times[i] for i in sorted(picked)]
+        return times
+
+    def crash_at_every_persist(
+        self, complete: bool = False, limit: Optional[int] = None
+    ) -> List[CrashReport]:
+        """Inject one crash per persist boundary (see
+        :meth:`persist_boundaries`); the fault campaign reuses this as
+        its clean power-cut sweep."""
+        return [
+            self.crash_at(t, complete) for t in self.persist_boundaries(limit)
         ]
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.exec.executor import (
     execute_job_payload,
 )
 from repro.exec.jobs import (
+    MODE_FAULTS,
     MODE_RECOVERY,
     MODE_SCENARIO,
     ScenarioJob,
@@ -40,6 +41,7 @@ __all__ = [
     "Executor",
     "JobFailedError",
     "JobOutcome",
+    "MODE_FAULTS",
     "MODE_RECOVERY",
     "MODE_SCENARIO",
     "PoolEvent",

@@ -33,8 +33,11 @@ MODE_SCENARIO = "scenario"
 #: Figure 11: worst-case crash + recovery-kernel runtime instead of a
 #: crash-free end-to-end run.
 MODE_RECOVERY = "recovery"
+#: Fault campaign: run the app under an injected fault plan, crash at
+#: every persist boundary, classify each recovery through the oracles.
+MODE_FAULTS = "faults"
 
-_MODES = (MODE_SCENARIO, MODE_RECOVERY)
+_MODES = (MODE_SCENARIO, MODE_RECOVERY, MODE_FAULTS)
 
 _code_fingerprint: Optional[str] = None
 
@@ -74,24 +77,40 @@ class ScenarioJob:
     trace: bool = False
     trace_dir: Optional[str] = None
     trace_tag: Optional[str] = None
+    #: Serialized fault plan (``FaultPlan.to_json()``) plus optional
+    #: runner knobs (``max_crash_points``, ``crash_times``); required
+    #: for — and only valid in — :data:`MODE_FAULTS`.
+    fault: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ConfigError(f"unknown job mode {self.mode!r}; have {_MODES}")
+        if (self.mode == MODE_FAULTS) != (self.fault is not None):
+            raise ConfigError(
+                "a fault plan is required for (and only valid in) "
+                f"mode={MODE_FAULTS!r}"
+            )
 
     # ------------------------------------------------------------------
     # identity
     # ------------------------------------------------------------------
     @property
     def spec(self) -> Dict[str, Any]:
-        """The hash-relevant scenario specification (no trace options)."""
-        return {
+        """The hash-relevant scenario specification (no trace options).
+
+        The ``fault`` key appears only when set, so pre-existing job
+        specs keep their hashes.
+        """
+        spec = {
             "app": self.app,
             "app_params": dict(self.app_params),
             "config": self.config.to_dict(),
             "verify": self.verify,
             "mode": self.mode,
         }
+        if self.fault is not None:
+            spec["fault"] = dict(self.fault)
+        return spec
 
     @property
     def spec_hash(self) -> str:
@@ -113,6 +132,8 @@ class ScenarioJob:
         name = f"{self.app}@{self.config.label}"
         if self.mode != MODE_SCENARIO:
             name += f"[{self.mode}]"
+        if self.fault is not None and self.fault.get("kind"):
+            name += f"[{self.fault['kind']}]"
         if self.trace_tag:
             name += f"[{self.trace_tag}]"
         return name
@@ -130,6 +151,7 @@ class ScenarioJob:
             "trace": self.trace,
             "trace_dir": self.trace_dir,
             "trace_tag": self.trace_tag,
+            "fault": dict(self.fault) if self.fault is not None else None,
         }
 
     @staticmethod
@@ -143,6 +165,7 @@ class ScenarioJob:
             trace=data.get("trace", False),
             trace_dir=data.get("trace_dir"),
             trace_tag=data.get("trace_tag"),
+            fault=data.get("fault"),
         )
 
     # ------------------------------------------------------------------
@@ -156,6 +179,8 @@ class ScenarioJob:
 
         if self.mode == MODE_RECOVERY:
             return self._execute_recovery()
+        if self.mode == MODE_FAULTS:
+            return self._execute_faults()
         return run_scenario(
             self.app,
             self.config,
@@ -180,4 +205,12 @@ class ScenarioJob:
             label=self.config.label,
             cycles=cycles,
             stats={"recovery.cycles": cycles},
+        )
+
+    def _execute_faults(self) -> "ScenarioResult":
+        from repro.faults.runner import run_fault_scenario
+
+        assert self.fault is not None  # enforced by __post_init__
+        return run_fault_scenario(
+            self.app, self.config, dict(self.app_params), dict(self.fault)
         )

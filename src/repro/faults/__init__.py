@@ -1,0 +1,96 @@
+"""Systematic fault injection with recovery oracles.
+
+The persistence path can fail in more ways than a clean power cut; this
+subpackage models those ways and checks that every protocol survives
+them — or fails *diagnosably*:
+
+* :mod:`~repro.faults.plans` — declarative, JSON-round-trippable
+  :class:`FaultPlan` descriptions (torn persists, reordered / dropped
+  drains, delayed / lost acks, transient NVM write failures), each
+  declaring what a correct implementation must do under it;
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`, the
+  deterministic plan interpreter the memory subsystem and persistency
+  models consult;
+* :mod:`~repro.faults.oracles` — typed post-crash classification: the
+  application oracle (recover on a clean machine, check app invariants)
+  and the formal oracle (validate observed crash images against the
+  axiomatic model's reachable states);
+* :mod:`~repro.faults.runner` — one scenario end to end: injected run,
+  crash at every persist boundary, classify, minimize a reproducer;
+* :mod:`~repro.faults.campaign` — ``python -m repro.faults.campaign``,
+  the sweep driver (apps x models x placements x plans) with a
+  deterministic JSON report.
+"""
+
+from repro.faults.injector import FaultInjector, build_injector
+from repro.faults.oracles import (
+    APP_VIOLATION,
+    CLASSIFICATIONS,
+    CONSISTENT,
+    FAULT_RAISED,
+    HUNG,
+    INCONSISTENT_CLASSES,
+    JOB_FAILED,
+    MODEL_ERROR,
+    RECOVERY_RAISED,
+    UNREACHABLE_STATE,
+    recover_and_classify,
+    run_litmus_oracle,
+)
+from repro.faults.plans import (
+    EXPECT_ANY,
+    EXPECT_CONSISTENT,
+    EXPECT_FAULT_RAISED,
+    EXPECT_HUNG,
+    EXPECT_INCONSISTENT,
+    EXPECTATIONS,
+    PLAN_KINDS,
+    AckDelayPlan,
+    AckLossPlan,
+    DrainDropPlan,
+    DrainReorderPlan,
+    FaultPlan,
+    NVMTransientPlan,
+    PowerCutPlan,
+    TornPersistPlan,
+)
+from repro.faults.runner import (
+    DEFAULT_MAX_CRASH_POINTS,
+    OUTCOME_INCONSISTENT,
+    run_fault_scenario,
+)
+
+__all__ = [
+    "APP_VIOLATION",
+    "AckDelayPlan",
+    "AckLossPlan",
+    "CLASSIFICATIONS",
+    "CONSISTENT",
+    "DEFAULT_MAX_CRASH_POINTS",
+    "DrainDropPlan",
+    "DrainReorderPlan",
+    "EXPECTATIONS",
+    "EXPECT_ANY",
+    "EXPECT_CONSISTENT",
+    "EXPECT_FAULT_RAISED",
+    "EXPECT_HUNG",
+    "EXPECT_INCONSISTENT",
+    "FAULT_RAISED",
+    "FaultInjector",
+    "FaultPlan",
+    "HUNG",
+    "INCONSISTENT_CLASSES",
+    "JOB_FAILED",
+    "MODEL_ERROR",
+    "NVMTransientPlan",
+    "OUTCOME_INCONSISTENT",
+    "PLAN_KINDS",
+    "PowerCutPlan",
+    "RECOVERY_RAISED",
+    "TornPersistPlan",
+    "UNREACHABLE_STATE",
+    "build_injector",
+    "recover_and_classify",
+    "run_fault_scenario",
+    "run_litmus_oracle",
+]

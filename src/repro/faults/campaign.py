@@ -1,0 +1,524 @@
+"""The fault-injection campaign driver.
+
+``python -m repro.faults.campaign`` sweeps fault plans across apps,
+persistency models, and PM placements.  Every (app, model, placement,
+plan) cell is one crash-isolated :class:`~repro.exec.jobs.ScenarioJob`
+submitted through the shared :class:`~repro.exec.executor.Executor`, so
+campaign cells parallelize, dedupe, and (with ``--cache-dir``) persist
+exactly like the paper's figure sweeps.
+
+The report is deterministic JSON: rows appear in submission order, no
+wall-clock or hostnames are recorded, and every injected decision is a
+pure function of the plan — ``--workers 1`` and ``--workers 4`` produce
+byte-identical reports (CI diffs them).
+
+Quick start::
+
+    python -m repro.faults.campaign --smoke          # bounded CI preset
+    python -m repro.faults.campaign --list-plans     # what can go wrong
+    python -m repro.faults.campaign --repro repro.json   # replay one cell
+
+Exit status is 0 iff no scenario or litmus cell violated its declared
+expectation (``summary.unexpected`` is empty).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.config import ModelName, PMPlacement, small_system
+from repro.exec import Executor, ScenarioJob
+from repro.exec.jobs import MODE_FAULTS
+from repro.faults.oracles import (
+    CONSISTENT,
+    JOB_FAILED,
+    UNREACHABLE_STATE,
+    run_litmus_oracle,
+)
+from repro.faults.plans import (
+    EXPECT_ANY,
+    EXPECT_FAULT_RAISED,
+    EXPECT_INCONSISTENT,
+    PLAN_KINDS,
+    AckDelayPlan,
+    AckLossPlan,
+    DrainDropPlan,
+    DrainReorderPlan,
+    FaultPlan,
+    NVMTransientPlan,
+    PowerCutPlan,
+    TornPersistPlan,
+)
+from repro.faults.runner import DEFAULT_MAX_CRASH_POINTS, OUTCOME_INCONSISTENT
+
+#: Shrunk app parameters (the tests' crash-sweep sizes): the campaign
+#: measures *correctness*, not performance, so small batches that still
+#: exercise every protocol step are the right cost point.
+APP_PARAMS: Dict[str, Dict[str, Any]] = {
+    "gpkvs": dict(n_pairs=512, capacity=1024, rounds=2),
+    "hashmap": dict(n_inserts=512, capacity=1024, rounds=2),
+    "srad": dict(side=24),
+    "reduction": dict(blocks=3, per_thread=2),
+    "multiqueue": dict(batches=2, blocks=3),
+    "scan": dict(blocks=3),
+}
+
+#: Even smaller gpKVS for the CI smoke preset.
+SMOKE_PARAMS: Dict[str, Any] = dict(n_pairs=128, capacity=256, rounds=2)
+SMOKE_MAX_CRASH_POINTS = 12
+
+ALL_MODELS = (ModelName.SBRP, ModelName.GPM, ModelName.EPOCH)
+ALL_PLACEMENTS = (PMPlacement.FAR, PMPlacement.NEAR)
+
+
+def named_plans() -> Dict[str, FaultPlan]:
+    """The campaign's default plan menu, by stable name."""
+    return {
+        "power_cut": PowerCutPlan(),
+        "torn_last": TornPersistPlan(),
+        "torn_window": TornPersistPlan(mode="window", expect=EXPECT_ANY),
+        "drain_reorder": DrainReorderPlan(),
+        "drain_drop": DrainDropPlan(),
+        "ack_delay": AckDelayPlan(),
+        "ack_loss": AckLossPlan(),
+        "nvm_transient": NVMTransientPlan(),
+        "nvm_exhausted": NVMTransientPlan(
+            fails=7, max_retries=3, expect=EXPECT_FAULT_RAISED
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One campaign cell: metadata + the job that measures it."""
+
+    app: str
+    app_params: Dict[str, Any]
+    model: ModelName
+    placement: PMPlacement
+    plan: FaultPlan
+    max_crash_points: int
+
+    @property
+    def name(self) -> str:
+        tag = self.app_params.get("seeded_bug", "")
+        seeded = f"!{tag}" if tag else ""
+        return (
+            f"{self.app}{seeded}@{self.model.value}-{self.placement.value}"
+            f"#{self.plan.label}"
+        )
+
+    def job(self) -> ScenarioJob:
+        fault = dict(self.plan.to_json())
+        fault["max_crash_points"] = self.max_crash_points
+        return ScenarioJob(
+            app=self.app,
+            config=small_system(self.model, placement=self.placement),
+            app_params=dict(self.app_params),
+            mode=MODE_FAULTS,
+            fault=fault,
+        )
+
+
+# ----------------------------------------------------------------------
+# campaign composition
+# ----------------------------------------------------------------------
+def seeded_cells(
+    models: Tuple[ModelName, ...],
+    max_points: int,
+    params: Optional[Dict[str, Any]] = None,
+) -> List[Cell]:
+    """Deliberately broken apps under clean power cuts: if the oracles
+    don't flag these, they have no teeth."""
+    base = dict(params or SMOKE_PARAMS)
+    plan = PowerCutPlan(expect=EXPECT_INCONSISTENT)
+    return [
+        Cell(
+            app="gpkvs",
+            app_params={**base, "seeded_bug": bug},
+            model=model,
+            placement=PMPlacement.FAR,
+            plan=plan,
+            max_crash_points=max_points,
+        )
+        for bug in ("unsealed_log", "commit_first")
+        for model in models
+    ]
+
+
+def smoke_cells(models: Tuple[ModelName, ...]) -> List[Cell]:
+    """The bounded CI preset: gpKVS under every model, clean power cuts
+    plus safe torn persists, and the seeded-bug teeth check under SBRP."""
+    cells = [
+        Cell(
+            app="gpkvs",
+            app_params=dict(SMOKE_PARAMS),
+            model=model,
+            placement=PMPlacement.FAR,
+            plan=plan,
+            max_crash_points=SMOKE_MAX_CRASH_POINTS,
+        )
+        for model in models
+        for plan in (PowerCutPlan(), TornPersistPlan())
+    ]
+    seeded_models = (
+        (ModelName.SBRP,) if ModelName.SBRP in models else models[:1]
+    )
+    cells += seeded_cells(seeded_models, SMOKE_MAX_CRASH_POINTS)
+    return cells
+
+
+def full_cells(
+    apps: List[str],
+    models: Tuple[ModelName, ...],
+    placements: Tuple[PMPlacement, ...],
+    plans: Dict[str, FaultPlan],
+    max_points: int,
+) -> List[Cell]:
+    cells = [
+        Cell(
+            app=app,
+            app_params=dict(APP_PARAMS[app]),
+            model=model,
+            placement=placement,
+            plan=plan,
+            max_crash_points=max_points,
+        )
+        for app in apps
+        for model in models
+        for placement in placements
+        for _, plan in sorted(plans.items())
+    ]
+    cells += seeded_cells(models[:1], max_points, params=APP_PARAMS["gpkvs"])
+    return cells
+
+
+def litmus_cases(
+    models: Tuple[ModelName, ...], smoke: bool
+) -> List[Dict[str, Any]]:
+    """Formal-oracle cases: (test, model, plan, expectation).
+
+    Every case runs the litmus program on the timing simulator and
+    validates observed crash images against the axiomatic model.  The
+    ``drain_drop`` case seeds broken hardware (an acked-but-dropped
+    drain) — the formal oracle must call its images unreachable.
+    """
+    cases = [
+        {
+            "test": "mp_ofence",
+            "model": ModelName.SBRP,
+            "plan": None,
+            "expect": CONSISTENT,
+            "expect_scope_bug": False,
+        },
+        {
+            "test": "mp_ofence",
+            "model": ModelName.SBRP,
+            "plan": DrainDropPlan(drop_every=2),
+            "expect": UNREACHABLE_STATE,
+            "expect_scope_bug": False,
+        },
+        {
+            "test": "scope_mismatch_bug",
+            "model": ModelName.SBRP,
+            "plan": None,
+            "expect": CONSISTENT,
+            "expect_scope_bug": True,
+        },
+    ]
+    if not smoke:
+        from repro.formal.litmus import LITMUS_TESTS
+
+        cases += [
+            {
+                "test": name,
+                "model": model,
+                "plan": None,
+                "expect": CONSISTENT,
+                "expect_scope_bug": name == "scope_mismatch_bug",
+            }
+            for name in sorted(LITMUS_TESTS)
+            for model in models
+            if not (name == "mp_ofence" and model is ModelName.SBRP)
+        ]
+    return cases
+
+
+# ----------------------------------------------------------------------
+# report assembly
+# ----------------------------------------------------------------------
+def scenario_row(cell: Cell, result: Optional[Any]) -> Dict[str, Any]:
+    row: Dict[str, Any] = {
+        "name": cell.name,
+        "app": cell.app,
+        "app_params": dict(cell.app_params),
+        "model": cell.model.value,
+        "placement": cell.placement.value,
+        "plan": cell.plan.label,
+        "expect": cell.plan.expect,
+    }
+    if result is None:
+        # Worker tracebacks are environment-specific; the report stays
+        # deterministic and the traceback goes to stderr instead.
+        row.update(
+            outcome=JOB_FAILED,
+            matched=False,
+            point_counts={},
+            injected={},
+            error=None,
+            reproducer=None,
+        )
+        return row
+    detail = result.detail or {}
+    error = detail.get("run", {}).get("error")
+    if error is None:
+        for point in detail.get("points", ()):
+            if point["classification"] != CONSISTENT:
+                error = point["error"]
+                break
+    row.update(
+        outcome=detail.get("outcome"),
+        matched=bool(detail.get("matched")),
+        point_counts=detail.get("point_counts", {}),
+        injected=detail.get("injected", {}),
+        error=error,
+        reproducer=detail.get("reproducer"),
+    )
+    return row
+
+
+def litmus_row(case: Dict[str, Any]) -> Dict[str, Any]:
+    outcome = run_litmus_oracle(
+        case["test"], case["model"], plan=case["plan"]
+    )
+    scope_detected = bool(outcome["scope_bugs"])
+    matched = (
+        outcome["classification"] == case["expect"]
+        and scope_detected == case["expect_scope_bug"]
+    )
+    return {
+        "name": f"{case['test']}@{case['model'].value}"
+        + (f"#{case['plan'].label}" if case["plan"] is not None else ""),
+        "expect": case["expect"],
+        "expect_scope_bug": case["expect_scope_bug"],
+        "matched": matched,
+        **outcome,
+    }
+
+
+def build_report(
+    preset: str,
+    cells: List[Cell],
+    results: List[Optional[Any]],
+    litmus: List[Dict[str, Any]],
+) -> Dict[str, Any]:
+    rows = [scenario_row(cell, result) for cell, result in zip(cells, results)]
+    unexpected = [row["name"] for row in rows if not row["matched"]]
+    unexpected += [row["name"] for row in litmus if not row["matched"]]
+    summary = {
+        "scenarios": len(rows),
+        "litmus_cases": len(litmus),
+        "matched": sum(row["matched"] for row in rows),
+        "clean_consistent": sum(
+            row["expect"] == CONSISTENT and row["outcome"] == CONSISTENT
+            for row in rows
+        ),
+        "seeded_flagged": sum(
+            row["expect"] == EXPECT_INCONSISTENT
+            and row["outcome"] == OUTCOME_INCONSISTENT
+            for row in rows
+        ),
+        "litmus_unreachable_detected": sum(
+            row["expect"] == UNREACHABLE_STATE
+            and row["classification"] == UNREACHABLE_STATE
+            for row in litmus
+        ),
+        "scope_bugs_detected": sum(
+            len(row["scope_bugs"]) for row in litmus
+        ),
+        "unexpected": unexpected,
+    }
+    return {
+        "campaign": {"preset": preset, "cells": len(cells)},
+        "scenarios": rows,
+        "litmus": litmus,
+        "summary": summary,
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _progress(event: Any) -> None:
+    if event.kind == "done":
+        print(
+            f"[{event.done}/{event.total}] {event.label}: {event.status}",
+            file=sys.stderr,
+        )
+
+
+def _repro(path: str) -> int:
+    """Replay one reproducer spec (a ScenarioJob JSON) and report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        job = ScenarioJob.from_json(json.load(handle))
+    result = job.execute()
+    detail = result.detail or {}
+    print(render_report(detail), end="")
+    reproduced = detail.get("outcome") == OUTCOME_INCONSISTENT
+    print(
+        f"reproduced={reproduced} outcome={detail.get('outcome')}",
+        file=sys.stderr,
+    )
+    return 0 if reproduced else 1
+
+
+def _list_plans() -> int:
+    for kind in sorted(PLAN_KINDS):
+        cls = PLAN_KINDS[kind]
+        default = cls()
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{kind:14s} expect={default.expect:12s} {doc}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.campaign",
+        description="Sweep fault plans across apps x models x placements "
+        "and classify every post-crash state through the recovery oracles.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bounded CI preset: gpkvs x 3 models, power cuts + safe "
+        "tears + seeded-bug teeth checks + the litmus trio",
+    )
+    parser.add_argument(
+        "--apps", nargs="*", default=None, choices=sorted(APP_PARAMS)
+    )
+    parser.add_argument(
+        "--models",
+        nargs="*",
+        default=None,
+        choices=[m.value for m in ModelName],
+    )
+    parser.add_argument(
+        "--placements",
+        nargs="*",
+        default=None,
+        choices=[p.value for p in PMPlacement],
+    )
+    parser.add_argument(
+        "--plans",
+        nargs="*",
+        default=None,
+        choices=sorted(named_plans()),
+        help="restrict the full sweep to these named plans",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache (off by default)",
+    )
+    parser.add_argument(
+        "--max-crash-points",
+        type=int,
+        default=None,
+        help=f"crash-point cap per cell (default {DEFAULT_MAX_CRASH_POINTS}, "
+        f"smoke {SMOKE_MAX_CRASH_POINTS})",
+    )
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--repro", default=None, help="replay a reproducer spec and exit"
+    )
+    parser.add_argument("--list-plans", action="store_true")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_plans:
+        return _list_plans()
+    if args.repro is not None:
+        return _repro(args.repro)
+
+    models = tuple(
+        m for m in ALL_MODELS if args.models is None or m.value in args.models
+    )
+    placements = tuple(
+        p
+        for p in ALL_PLACEMENTS
+        if args.placements is None or p.value in args.placements
+    )
+    if args.smoke:
+        preset = "smoke"
+        cells = smoke_cells(models)
+        if args.max_crash_points is not None:
+            cells = [
+                Cell(
+                    app=c.app,
+                    app_params=c.app_params,
+                    model=c.model,
+                    placement=c.placement,
+                    plan=c.plan,
+                    max_crash_points=args.max_crash_points,
+                )
+                for c in cells
+            ]
+    else:
+        preset = "full"
+        plans = named_plans()
+        if args.plans is not None:
+            plans = {name: plans[name] for name in args.plans}
+        cells = full_cells(
+            apps=args.apps or sorted(APP_PARAMS),
+            models=models,
+            placements=placements,
+            plans=plans,
+            max_points=args.max_crash_points or DEFAULT_MAX_CRASH_POINTS,
+        )
+
+    executor = Executor(
+        workers=args.workers,
+        cache=args.cache_dir,
+        progress=None if args.quiet else _progress,
+    )
+    results = executor.submit([cell.job() for cell in cells], allow_failures=True)
+    for failure in executor.failures:
+        print(f"--- {failure.job.label} ---\n{failure}", file=sys.stderr)
+
+    litmus = [litmus_row(case) for case in litmus_cases(models, args.smoke)]
+    report = build_report(preset, cells, results, litmus)
+    text = render_report(report)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text, end="")
+
+    summary = report["summary"]
+    print(
+        f"{preset}: {summary['scenarios']} scenarios + "
+        f"{summary['litmus_cases']} litmus cases; "
+        f"{summary['clean_consistent']} clean-consistent, "
+        f"{summary['seeded_flagged']} seeded bugs flagged, "
+        f"{summary['litmus_unreachable_detected']} unreachable detected, "
+        f"{len(summary['unexpected'])} unexpected",
+        file=sys.stderr,
+    )
+    if summary["unexpected"]:
+        for name in summary["unexpected"]:
+            print(f"UNEXPECTED: {name}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

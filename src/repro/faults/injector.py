@@ -1,0 +1,176 @@
+"""The fault injector: plan interpretation at the persistence path.
+
+One :class:`FaultInjector` serves one :class:`~repro.system.GPUSystem`
+(it carries mutable counters, so never share an instance between
+systems).  The memory subsystem and the persistency models consult it at
+four points:
+
+* :meth:`persist_delay` — extra latency before the NVM controller
+  accepts a write (transient failures with retry/backoff; may escalate
+  to :class:`~repro.common.errors.FaultInjectionError`);
+* :meth:`transform_accept` — the *actual* media-durability time of a
+  record, possibly later than the WPQ acknowledged (drain reordering);
+* :meth:`transform_ack` — the time the SM learns about durability
+  (delayed acks) or never does (lost acks, ``inf``);
+* :meth:`drop_flush` — a drained line that never becomes durable;
+* :meth:`torn_records` — crash-time rewriting of accepted records into
+  partial (torn) line writes.
+
+All decisions are pure functions of the plan, its seed, and simulation-
+deterministic counters — the same run always injects the same faults,
+which is what makes campaign reports byte-identical across workers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.common.errors import FaultInjectionError, TornPersistError
+from repro.faults.plans import (
+    AckDelayPlan,
+    AckLossPlan,
+    DrainDropPlan,
+    DrainReorderPlan,
+    FaultPlan,
+    NVMTransientPlan,
+    TornPersistPlan,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memory.subsystem import PersistRecord
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(seed: int, n: int) -> int:
+    """SplitMix64-style deterministic hash of (seed, n)."""
+    x = (n * 0x9E3779B97F4A7C15 + seed * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+class FaultInjector:
+    """Interprets one :class:`FaultPlan` against one simulated system."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.active = True
+        #: Injection tallies (keys are stable; reports embed them).
+        self.counts: Dict[str, int] = {}
+        self._flushes_seen = 0
+        self._drops = 0
+
+    def _bump(self, key: str, by: int = 1) -> None:
+        self.counts[key] = self.counts.get(key, 0) + by
+
+    # ------------------------------------------------------------------
+    # NVM write path
+    # ------------------------------------------------------------------
+    def persist_delay(self, seq: int) -> float:
+        """Extra cycles before the NVM controller sees persist *seq*."""
+        plan = self.plan
+        if not isinstance(plan, NVMTransientPlan):
+            return 0.0
+        if seq % plan.fail_every != 0:
+            return 0.0
+        if plan.fails > plan.max_retries:
+            self._bump("nvm_retry_exhausted")
+            raise FaultInjectionError(
+                f"NVM write (persist #{seq}) failed {plan.fails} times, "
+                f"exceeding the retry budget of {plan.max_retries}"
+            )
+        self._bump("nvm_transient_failures", plan.fails)
+        return plan.retry_delay
+
+    def transform_accept(self, seq: int, accept: float) -> float:
+        """The record's actual durability time (may differ from what the
+        WPQ acknowledged)."""
+        plan = self.plan
+        if isinstance(plan, DrainReorderPlan) and seq % plan.shift_every == 0:
+            self._bump("reordered_persists")
+            return accept + plan.shift_cycles
+        return accept
+
+    def transform_ack(self, seq: int, accept: float, ack: float) -> float:
+        """When the issuing SM learns about durability (``inf`` = never)."""
+        plan = self.plan
+        if isinstance(plan, AckDelayPlan) and seq % plan.every == 0:
+            self._bump("delayed_acks")
+            return ack + plan.delay_cycles
+        if isinstance(plan, AckLossPlan):
+            past = seq - plan.lose_after
+            if past > 0 and past % plan.lose_every == 0:
+                self._bump("lost_acks")
+                return float("inf")
+        return ack
+
+    # ------------------------------------------------------------------
+    # persist-buffer drain path
+    # ------------------------------------------------------------------
+    def drop_flush(self, sm_id: int, line_addr: int) -> bool:
+        """True when this drained line must never become durable."""
+        plan = self.plan
+        if not isinstance(plan, DrainDropPlan):
+            return False
+        index = self._flushes_seen
+        self._flushes_seen += 1
+        if index < plan.drop_offset:
+            return False
+        if plan.max_drops and self._drops >= plan.max_drops:
+            return False
+        if (index - plan.drop_offset) % plan.drop_every == 0:
+            self._drops += 1
+            self._bump("dropped_flushes")
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # crash-image path
+    # ------------------------------------------------------------------
+    def torn_records(
+        self, records: List["PersistRecord"], time: float
+    ) -> List["PersistRecord"]:
+        """Rewrite *records* (accepted by *time*, sorted by acceptance)
+        so lines still resident in the WPQ at the crash tear."""
+        plan = self.plan
+        if not isinstance(plan, TornPersistPlan) or not records:
+            return records
+        if plan.mode == "last":
+            victims = {records[-1].seq}
+        else:
+            victims = {
+                r.seq for r in records if time - r.accept_time <= plan.span_cycles
+            }
+        out: List["PersistRecord"] = []
+        for record in records:
+            if record.seq not in victims or time - record.accept_time > plan.span_cycles:
+                out.append(record)
+                continue
+            out.append(self._tear(record))
+        return out
+
+    def _tear(self, record: "PersistRecord") -> "PersistRecord":
+        from dataclasses import replace
+
+        if not record.words:
+            raise TornPersistError(
+                f"persist #{record.seq} has no words to tear"
+            )
+        addrs = sorted(record.words)
+        bits = _mix(self.plan.seed, record.seq)
+        kept = [a for i, a in enumerate(addrs) if (bits >> (i % 64)) & 1]
+        if len(kept) == len(addrs):
+            # A tear must be partial: always lose at least one word.
+            kept = kept[:-1]
+        self._bump("torn_records")
+        self._bump("torn_words_dropped", len(addrs) - len(kept))
+        return replace(record, words={a: record.words[a] for a in kept})
+
+
+def build_injector(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+    """A fresh injector for *plan*, or None for fault-free runs."""
+    return None if plan is None else FaultInjector(plan)

@@ -1,0 +1,276 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a frozen, JSON-round-trippable description of
+*one* way to abuse the persistence path.  Plans carry no behavior — the
+:class:`~repro.faults.injector.FaultInjector` interprets them — so they
+can ride inside a :class:`~repro.exec.jobs.ScenarioJob` spec, hash
+stably, and cross process boundaries.
+
+Every plan declares what a *correct* implementation is expected to do
+under it (``expect``):
+
+* ``consistent`` — every sampled crash point must recover cleanly.
+  Clean power cuts and safe tears (the last in-flight line) model
+  behavior the paper's ADR assumptions still permit.
+* ``inconsistent`` — at least one crash point must be flagged.  Used for
+  seeded application bugs: a plan that *fails* to flag one means the
+  oracle has no teeth.
+* ``hung`` — the run must wedge and be diagnosed (livelock / deadlock /
+  drain stall), not spin forever.  Losing every ack is the canonical
+  case.
+* ``fault_raised`` — the injection itself must escalate to a typed
+  :class:`~repro.common.errors.FaultInjectionError` (retry exhaustion).
+* ``any`` — adversarial plans that break the hardware contract
+  (reordered or dropped drains, wide tears): any classification is
+  acceptable, the campaign only records what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar, Dict, Mapping, Type
+
+from repro.common.errors import ConfigError
+
+EXPECT_CONSISTENT = "consistent"
+EXPECT_INCONSISTENT = "inconsistent"
+EXPECT_HUNG = "hung"
+EXPECT_FAULT_RAISED = "fault_raised"
+EXPECT_ANY = "any"
+
+EXPECTATIONS = (
+    EXPECT_CONSISTENT,
+    EXPECT_INCONSISTENT,
+    EXPECT_HUNG,
+    EXPECT_FAULT_RAISED,
+    EXPECT_ANY,
+)
+
+#: kind -> plan class; populated by :func:`register_plan`.
+PLAN_KINDS: Dict[str, Type["FaultPlan"]] = {}
+
+
+def register_plan(cls: Type["FaultPlan"]) -> Type["FaultPlan"]:
+    if not cls.kind:
+        raise ConfigError(f"{cls.__name__} must define a non-empty kind")
+    if cls.kind in PLAN_KINDS:
+        raise ConfigError(f"duplicate fault-plan kind {cls.kind!r}")
+    PLAN_KINDS[cls.kind] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Base class: a serializable description of one injected fault."""
+
+    kind: ClassVar[str] = ""
+
+    #: What a correct implementation must do under this plan.
+    expect: str = EXPECT_CONSISTENT
+
+    def __post_init__(self) -> None:
+        if self.expect not in EXPECTATIONS:
+            raise ConfigError(
+                f"unknown expectation {self.expect!r}; have {EXPECTATIONS}"
+            )
+        self.validate()
+
+    def validate(self) -> None:
+        """Subclass hook: raise :class:`ConfigError` on bad parameters."""
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name for job labels and report rows."""
+        return self.kind
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": self.kind, **asdict(self)}
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "FaultPlan":
+        payload = dict(data)
+        kind = payload.pop("kind", None)
+        cls = PLAN_KINDS.get(kind)
+        if cls is None:
+            raise ConfigError(
+                f"unknown fault-plan kind {kind!r}; have {sorted(PLAN_KINDS)}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(
+                f"fault plan {kind!r} got unknown fields {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+
+@register_plan
+@dataclass(frozen=True)
+class PowerCutPlan(FaultPlan):
+    """Clean power failure: the durable image is exactly what the ADR
+    domain accepted.  The baseline plan — crash points come from the
+    persist log's acceptance boundaries, not from the plan itself."""
+
+    kind: ClassVar[str] = "power_cut"
+
+
+@register_plan
+@dataclass(frozen=True)
+class TornPersistPlan(FaultPlan):
+    """Partial cache-line persists at the crash instant.
+
+    ``mode="last"`` tears only the most recently accepted record, and
+    only when the crash lands within *span_cycles* of its acceptance —
+    the line caught mid-drain.  Ordering enforced by the models (fence
+    successors flush only after the predecessor's ack) makes every such
+    image formally reachable, so correct apps must still recover:
+    ``expect`` defaults to ``consistent``.
+
+    ``mode="window"`` tears *every* record accepted within the window —
+    an ADR failure (the capacitor only partially drained the WPQ).  That
+    breaks the acceptance-is-durability contract the protocols are built
+    on, so pair it with ``expect="any"``.
+    """
+
+    kind: ClassVar[str] = "torn_persist"
+
+    mode: str = "last"
+    #: How long an accepted line stays tearable (the WPQ residency).
+    span_cycles: float = 200.0
+    #: Seeds the per-record choice of surviving words.
+    seed: int = 1
+
+    def validate(self) -> None:
+        if self.mode not in ("last", "window"):
+            raise ConfigError(f"torn_persist mode must be last|window, got {self.mode!r}")
+        if self.span_cycles <= 0:
+            raise ConfigError("torn_persist span_cycles must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}:{self.mode}"
+
+
+@register_plan
+@dataclass(frozen=True)
+class DrainReorderPlan(FaultPlan):
+    """A buggy memory controller: every *shift_every*-th accepted persist
+    actually reaches the media *shift_cycles* later than the WPQ
+    acknowledged, reordering durability against later persists.  The
+    hardware contract is broken, so the default expectation is ``any``.
+    """
+
+    kind: ClassVar[str] = "drain_reorder"
+
+    expect: str = EXPECT_ANY
+    shift_every: int = 3
+    shift_cycles: float = 500.0
+
+    def validate(self) -> None:
+        if self.shift_every < 1:
+            raise ConfigError("drain_reorder shift_every must be >= 1")
+        if self.shift_cycles <= 0:
+            raise ConfigError("drain_reorder shift_cycles must be positive")
+
+
+@register_plan
+@dataclass(frozen=True)
+class DrainDropPlan(FaultPlan):
+    """A persist-buffer drain bug: every *drop_every*-th flushed line is
+    acknowledged but never becomes durable (visible in the volatile
+    image, absent from every crash image)."""
+
+    kind: ClassVar[str] = "drain_drop"
+
+    expect: str = EXPECT_ANY
+    drop_every: int = 2
+    #: First flush (0-based) eligible to drop; lets plans spare setup.
+    drop_offset: int = 0
+    #: Cap on total drops; 0 = unlimited.
+    max_drops: int = 0
+
+    def validate(self) -> None:
+        if self.drop_every < 1:
+            raise ConfigError("drain_drop drop_every must be >= 1")
+        if self.drop_offset < 0 or self.max_drops < 0:
+            raise ConfigError("drain_drop offsets/caps must be non-negative")
+
+
+@register_plan
+@dataclass(frozen=True)
+class AckDelayPlan(FaultPlan):
+    """ACTR stress: every *every*-th persist's acknowledgement is delayed
+    by *delay_cycles*.  Durability is unaffected — only the SM learns
+    late — so a correct implementation stays consistent (and merely
+    slower)."""
+
+    kind: ClassVar[str] = "ack_delay"
+
+    delay_cycles: float = 2000.0
+    every: int = 2
+
+    def validate(self) -> None:
+        if self.delay_cycles <= 0:
+            raise ConfigError("ack_delay delay_cycles must be positive")
+        if self.every < 1:
+            raise ConfigError("ack_delay every must be >= 1")
+
+
+@register_plan
+@dataclass(frozen=True)
+class AckLossPlan(FaultPlan):
+    """ACTR starvation: after the first *lose_after* persists, every
+    *lose_every*-th acknowledgement is lost entirely.  The ACTR never
+    reaches zero again, so the machine must wedge **diagnosably**
+    (deadlock, drain stall, or the engine watchdog) — the expectation is
+    ``hung``, and an undetected infinite spin is the failure mode this
+    plan exists to catch."""
+
+    kind: ClassVar[str] = "ack_loss"
+
+    expect: str = EXPECT_HUNG
+    lose_after: int = 4
+    lose_every: int = 1
+
+    def validate(self) -> None:
+        if self.lose_after < 0:
+            raise ConfigError("ack_loss lose_after must be non-negative")
+        if self.lose_every < 1:
+            raise ConfigError("ack_loss lose_every must be >= 1")
+
+
+@register_plan
+@dataclass(frozen=True)
+class NVMTransientPlan(FaultPlan):
+    """Transient NVM write failures: every *fail_every*-th persist fails
+    *fails* times before succeeding, each retry backing off linearly by
+    *backoff_cycles*.  Within the retry budget this only adds latency
+    (``expect="consistent"``); with ``fails > max_retries`` the write
+    escalates to :class:`~repro.common.errors.FaultInjectionError`
+    (``expect="fault_raised"``)."""
+
+    kind: ClassVar[str] = "nvm_transient"
+
+    fail_every: int = 5
+    fails: int = 2
+    max_retries: int = 5
+    backoff_cycles: float = 400.0
+
+    def validate(self) -> None:
+        if self.fail_every < 1:
+            raise ConfigError("nvm_transient fail_every must be >= 1")
+        if self.fails < 0 or self.max_retries < 0:
+            raise ConfigError("nvm_transient fails/max_retries must be >= 0")
+        if self.backoff_cycles <= 0:
+            raise ConfigError("nvm_transient backoff_cycles must be positive")
+
+    @property
+    def label(self) -> str:
+        if self.fails > self.max_retries:
+            return f"{self.kind}:exhausted"
+        return self.kind
+
+    @property
+    def retry_delay(self) -> float:
+        """Added acceptance latency when the retries succeed."""
+        return self.backoff_cycles * self.fails * (self.fails + 1) / 2

@@ -9,7 +9,7 @@ violates its own specification.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.common.config import ModelName, Scope, small_system
 from repro.formal.events import EventKind, LitmusProgram
@@ -21,9 +21,15 @@ def simulate_litmus(
     test: LitmusTest,
     model: ModelName = ModelName.SBRP,
     crash_points: int = 64,
+    faults: Optional[Any] = None,
 ) -> List[Dict[str, int]]:
     """Run the litmus program on the simulator; return the distinct
-    durable images observed at *crash_points* instants."""
+    durable images observed at every persist boundary plus
+    *crash_points* evenly spaced instants.
+
+    *faults* (a :class:`repro.faults.FaultInjector`) lets the fault
+    campaign run litmus programs on deliberately broken hardware and
+    check whether the formal oracle notices."""
     program = test.build().validate()
     blocks = sorted({t.block for t in program.threads})
     # All threads of a block share a threadblock; each thread is one
@@ -34,7 +40,7 @@ def simulate_litmus(
     config = small_system(
         model, num_sms=max(2, len(blocks)), threads_per_block=32 * max(2, widest)
     )
-    system = GPUSystem(config)
+    system = GPUSystem(config, faults=faults)
 
     locations = sorted(
         {e.loc for e in program.events() if e.loc is not None}
@@ -77,10 +83,15 @@ def simulate_litmus(
     system.sync()
 
     end = system.now
+    # Every instant where the durable image can change, plus an even
+    # sampling (the boundaries alone would miss nothing, but the spaced
+    # points keep the historical behavior for coarse sweeps).
+    times = set(system.gpu.subsystem.persist_log.boundary_times(end=end))
+    times.update(end * i / crash_points for i in range(crash_points + 1))
     images: List[Dict[str, int]] = []
     seen: Set[Tuple[Tuple[str, int], ...]] = set()
-    for i in range(crash_points + 1):
-        image = system.gpu.subsystem.crash_image(end * i / crash_points)
+    for t in sorted(times):
+        image = system.gpu.subsystem.crash_image(t)
         named = {
             loc: image.get(a, 0) for loc, a in addr.items() if loc.startswith("p")
         }
@@ -92,7 +103,9 @@ def simulate_litmus(
 
 
 def validate_against_model(
-    test: LitmusTest, model: ModelName = ModelName.SBRP
+    test: LitmusTest,
+    model: ModelName = ModelName.SBRP,
+    faults: Optional[Any] = None,
 ) -> List[Dict[str, int]]:
     """Return simulator-observed images NOT allowed by the axiomatic
     model (empty = the implementation refines its specification).
@@ -111,5 +124,5 @@ def validate_against_model(
         return tuple(sorted((k, v) for k, v in img.items() if v != 0))
 
     allowed_norm = {normalize(dict(k)) for k in map(dict, allowed_keys)}
-    observed = simulate_litmus(test, model)
+    observed = simulate_litmus(test, model, faults=faults)
     return [img for img in observed if normalize(img) not in allowed_norm]

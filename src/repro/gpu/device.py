@@ -59,6 +59,8 @@ class GPU:
         stats: Optional[StatsRegistry] = None,
         max_cycles: float = 2e9,
         tracer: Optional[Tracer] = None,
+        faults: Optional[Any] = None,
+        watchdog_events: Optional[int] = None,
     ) -> None:
         from repro.persistency import build_model  # local import: cycle guard
 
@@ -67,9 +69,15 @@ class GPU:
         self.stats = stats if stats is not None else StatsRegistry()
         self.backing = backing if backing is not None else BackingStore()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.engine = Engine(max_cycles=max_cycles, stats=self.stats)
+        self.engine = Engine(
+            max_cycles=max_cycles,
+            stats=self.stats,
+            watchdog_events=watchdog_events,
+        )
+        self.engine.watchdog_diagnostics = self._watchdog_diagnostics
         self.subsystem = MemorySubsystem(
-            config.memory, config.gpu, self.backing, self.stats, self.tracer
+            config.memory, config.gpu, self.backing, self.stats, self.tracer,
+            faults=faults,
         )
         self.model = build_model(config, self.stats)
         from repro.gpu.sm import SM  # local import: cycle guard
@@ -210,8 +218,22 @@ class GPU:
                 return base
         raise SimulationError("no free warp slots despite capacity check")
 
+    def _watchdog_diagnostics(self) -> Dict[str, float]:
+        """Queue depths for :class:`LivelockError` messages: how many
+        warps each SM still holds and how many blocks wait for slots."""
+        depths: Dict[str, float] = {
+            "blocks.pending": float(len(self._pending_blocks)),
+            "blocks.live": float(len(self._live_blocks)),
+        }
+        for sm in self.sms:
+            live = [w for w in sm.warps.values() if w.state is not WarpState.DONE]
+            if live:
+                depths[f"sm{sm.sm_id}.live_warps"] = float(len(live))
+        return depths
+
     def on_warp_done(self, sm, warp: Warp, now: float) -> None:
         """SM callback: a warp's generator finished."""
+        self.engine.note_progress()
         block = self._live_blocks.get(warp.block_key)
         if block is None:
             raise SimulationError(f"warp finished for unknown block {warp.block_key}")

@@ -3,31 +3,59 @@
 A single binary heap of ``(time, seq, callback)`` drives the whole
 system.  Components schedule callbacks; the engine pops them in time
 order until the queue empties or a cycle budget is exceeded.
+
+A *watchdog* guards against livelocks that the cycle budget would take
+minutes of wall-clock time to reach (a spin loop advances simulated time
+only ~40 cycles per event).  Progress sources — persist flushes, warp
+retirements — call :meth:`Engine.note_progress`; if a bounded number of
+events elapse without any, the engine raises
+:class:`~repro.common.errors.LivelockError` carrying queue-depth
+diagnostics instead of spinning until the pool timeout kills the
+process.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import SimulationError
+from repro.common.errors import LivelockError, SimulationError
 from repro.common.stats import StatsRegistry
 
 EventFn = Callable[[float], None]
+
+#: Default watchdog bound: events processed without a single progress
+#: signal before the run is declared livelocked.  Generous — real
+#: workloads flush a persist or retire a warp far more often than this —
+#: while a wedged spin loop reaches it in seconds of wall-clock time.
+DEFAULT_WATCHDOG_EVENTS = 2_000_000
 
 
 class Engine:
     """Time-ordered event queue with a hard cycle budget."""
 
     def __init__(
-        self, max_cycles: float = 2e9, stats: Optional[StatsRegistry] = None
+        self,
+        max_cycles: float = 2e9,
+        stats: Optional[StatsRegistry] = None,
+        watchdog_events: Optional[int] = None,
     ) -> None:
         self.now: float = 0.0
         self.max_cycles = max_cycles
         self.stats = stats
+        #: Events without progress before :class:`LivelockError`;
+        #: ``0`` disables the watchdog.
+        self.watchdog_events = (
+            DEFAULT_WATCHDOG_EVENTS if watchdog_events is None else watchdog_events
+        )
+        #: Optional callback returning queue depths for livelock
+        #: diagnostics (the GPU layer installs one reporting blocked
+        #: warps per SM).
+        self.watchdog_diagnostics: Optional[Callable[[], Dict[str, float]]] = None
         self._queue: List[Tuple[float, int, EventFn]] = []
         self._seq = 0
         self.events_processed = 0
+        self._idle_events = 0
 
     def schedule(self, time: float, fn: EventFn) -> None:
         """Run *fn(now)* at simulated time *time* (clamped to now)."""
@@ -39,12 +67,25 @@ class Engine:
     def schedule_in(self, delay: float, fn: EventFn) -> None:
         self.schedule(self.now + delay, fn)
 
+    def note_progress(self) -> None:
+        """Reset the watchdog: the system did something irreversible
+        (flushed a persist, retired a warp)."""
+        self._idle_events = 0
+
+    def _livelock(self) -> LivelockError:
+        depths: Dict[str, float] = {"engine.pending": float(len(self._queue))}
+        if self.watchdog_diagnostics is not None:
+            depths.update(self.watchdog_diagnostics())
+        return LivelockError(self.now, self._idle_events, depths)
+
     def run(self, until: Callable[[], bool] | None = None) -> float:
         """Process events until the queue drains or *until()* is true.
 
         Returns the final simulated time.  Raises
-        :class:`SimulationError` when the cycle budget is exhausted,
-        which almost always indicates a livelocked spin loop in a kernel.
+        :class:`SimulationError` when the cycle budget is exhausted and
+        :class:`LivelockError` when the watchdog sees no forward
+        progress, both of which almost always indicate a livelocked spin
+        loop in a kernel (or an injected fault that wedged the machine).
         """
         while self._queue:
             if until is not None and until():
@@ -58,6 +99,10 @@ class Engine:
                 )
             self.now = max(self.now, time)
             self.events_processed += 1
+            if self.watchdog_events:
+                self._idle_events += 1
+                if self._idle_events > self.watchdog_events:
+                    raise self._livelock()
             fn(self.now)
         if self.stats is not None:
             self.stats.set("engine.events_processed", float(self.events_processed))
@@ -72,3 +117,4 @@ class Engine:
         self._queue.clear()
         self._seq = 0
         self.events_processed = 0
+        self._idle_events = 0

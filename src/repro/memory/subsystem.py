@@ -13,7 +13,7 @@ instant yields a well-defined durable PM image.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 from repro.common.config import GPUConfig, MemoryConfig, PMPlacement
 from repro.common.stats import StatsRegistry
@@ -22,6 +22,9 @@ from repro.memory.backing import BackingStore
 from repro.memory.cache import TagCache
 from repro.memory.devices import BandwidthChannel, NVMController, WriteAck
 from repro.trace.tracer import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -47,13 +50,26 @@ class PersistLog:
     def records(self) -> List[PersistRecord]:
         return list(self._records)
 
+    def records_until(self, time: float) -> List[PersistRecord]:
+        """Persists accepted by *time*, in acceptance order."""
+        accepted = [r for r in self._records if r.accept_time <= time]
+        accepted.sort(key=lambda r: (r.accept_time, r.seq))
+        return accepted
+
+    def boundary_times(self, end: Optional[float] = None) -> List[float]:
+        """Distinct acceptance instants (sorted).  Crash images can only
+        change at these times, so they are the complete set of
+        interesting crash points."""
+        times = {r.accept_time for r in self._records}
+        if end is not None:
+            times = {t for t in times if t <= end}
+        return sorted(times)
+
     def image_at(self, time: float) -> Dict[int, int]:
         """Durable PM image after a crash at *time*: every persist whose
         WPQ acceptance happened by then, applied in acceptance order."""
         image: Dict[int, int] = {}
-        accepted = [r for r in self._records if r.accept_time <= time]
-        accepted.sort(key=lambda r: (r.accept_time, r.seq))
-        for record in accepted:
+        for record in self.records_until(time):
             image.update(record.words)
         return image
 
@@ -71,12 +87,14 @@ class MemorySubsystem:
         backing: BackingStore,
         stats: StatsRegistry,
         tracer: Tracer = NULL_TRACER,
+        faults: "Optional[FaultInjector]" = None,
     ) -> None:
         self.config = memory
         self.gpu = gpu
         self.backing = backing
         self.stats = stats
         self.tracer = tracer
+        self.faults = faults
         self.line_size = gpu.line_size
         self.l2 = TagCache("l2", gpu.l2_size, gpu.line_size, stats=stats)
 
@@ -182,8 +200,21 @@ class MemorySubsystem:
         Returns the acceptance (durability) time and the time at which
         the acknowledgement reaches the issuing SM.  Persists write
         through the shared L2 (the paper keeps no L2 persist buffer).
+
+        With a fault injector attached, three things can diverge from
+        the clean path: the NVM write may suffer transient failures
+        (extra pre-acceptance latency, or escalation), the *recorded*
+        durability time may shift later than the WPQ acknowledged
+        (drain reordering), and the ack the SM sees may be delayed or
+        lost (``inf``).  The hardware-believed WriteAck and the logged
+        record are deliberately allowed to disagree — that disagreement
+        *is* the injected bug.
         """
         nbytes = self.line_size
+        self._persist_seq += 1
+        seq = self._persist_seq
+        injected = self.faults is not None and self.faults.active
+        delay = self.faults.persist_delay(seq) if injected else 0.0
         after_l2 = now + self.gpu.l2_latency
         self.l2.access(line_addr, now)
         part = self._partition(line_addr)
@@ -193,16 +224,19 @@ class MemorySubsystem:
                 # eADR: durable once resident in the battery-backed host
                 # LLC; the NVM write drains in the background.
                 accept = at_host
-                self.nvm[part].write(at_host, nbytes)
+                self.nvm[part].write(at_host + delay, nbytes)
             else:
-                accept = self.nvm[part].write(at_host, nbytes)
+                accept = self.nvm[part].write(at_host + delay, nbytes)
             ack = accept + self.config.pcie_latency
         else:
-            accept = self.nvm[part].write(after_l2, nbytes)
+            accept = self.nvm[part].write(after_l2 + delay, nbytes)
             ack = accept + self.gpu.l2_latency
-        self._persist_seq += 1
+        durable_at = accept
+        if injected:
+            durable_at = self.faults.transform_accept(seq, accept)
+            ack = self.faults.transform_ack(seq, accept, ack)
         self.persist_log.append(
-            PersistRecord(self._persist_seq, sm_id, line_addr, dict(words), accept)
+            PersistRecord(seq, sm_id, line_addr, dict(words), durable_at)
         )
         self.stats.add("persist.lines")
         self.stats.add("persist.bytes", nbytes)
@@ -213,7 +247,15 @@ class MemorySubsystem:
     # ------------------------------------------------------------------
     def crash_image(self, time: float) -> Dict[int, int]:
         """The durable PM image if power fails at *time*: host-initialized
-        durable contents overlaid with every persist accepted by then."""
+        durable contents overlaid with every persist accepted by then.
+
+        A fault injector may rewrite the accepted records at this point
+        (torn persists: lines still in the WPQ at the crash lose a
+        subset of their words)."""
         image = dict(self.backing.durable)
-        image.update(self.persist_log.image_at(time))
+        records = self.persist_log.records_until(time)
+        if self.faults is not None and self.faults.active:
+            records = self.faults.torn_records(records, time)
+        for record in records:
+            image.update(record.words)
         return image

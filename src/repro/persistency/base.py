@@ -125,10 +125,30 @@ class PersistencyModel(abc.ABC):
 
         Updates the globally visible image (persists write through the
         L2) and returns the WPQ acceptance/ack times.
+
+        Every flush counts as forward progress for the engine watchdog.
+        A fault injector may *drop* the flush: the line stays globally
+        visible and the SM receives a prompt (lying) ack, but nothing is
+        logged — the persist never becomes durable.
         """
+        sm.engine.note_progress()
         words: Dict[int, int] = dict(line.dirty_words)
         for addr, value in words.items():
             sm.backing.write(addr, value)
+        faults = sm.subsystem.faults
+        if (
+            faults is not None
+            and faults.active
+            and faults.drop_flush(sm.sm_id, line.tag)
+        ):
+            line.dirty = False
+            line.dirty_words = {}
+            self.stats.add(f"sm{sm.sm_id}.pm_flushes")
+            self.stats.add("faults.dropped_flushes")
+            return WriteAck(
+                accept_time=now + 1,
+                ack_time=now + self.config.gpu.l2_latency,
+            )
         ack = sm.subsystem.persist_line(now, sm.sm_id, line.tag, words)
         if sm.tracer.enabled:
             # Lifecycle: drain issued now; durable at acceptance; the

@@ -23,6 +23,7 @@ Control flow summary:
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Dict, List, Mapping
 
 from repro.common.bitmask import WarpMask
@@ -432,6 +433,7 @@ class SBRPModel(PersistencyModel):
         def on_ack(t: float) -> None:
             if generation != st.generation:
                 return
+            sm.engine.note_progress()
             st.retire_ack(ack_time)
             if sm.tracer.enabled:
                 sm.tracer.counter(f"sm{sm.sm_id}", "actr", t, float(st.actr))
@@ -444,7 +446,11 @@ class SBRPModel(PersistencyModel):
             self._schedule_pump(sm)
 
         sm.engine.schedule(accept_time, on_accept)
-        sm.engine.schedule(ack_time, on_ack)
+        # A lost ack (fault injection) never arrives: the ACTR stays
+        # elevated and the machine wedges diagnosably (deadlock / drain
+        # stall / watchdog) instead of scheduling an event at infinity.
+        if math.isfinite(ack_time):
+            sm.engine.schedule(ack_time, on_ack)
 
     def _resolve_actr_zero(self, sm: "SM", st: SBRPState, now: float) -> None:
         actions, st.actr_zero_actions = st.actr_zero_actions, []

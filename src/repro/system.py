@@ -47,14 +47,24 @@ class GPUSystem:
         pm_image: Optional[CrashImage] = None,
         max_cycles: float = 2e9,
         trace: "Tracer | TraceConfig | bool | None" = None,
+        faults: Optional[Any] = None,
+        watchdog_events: Optional[int] = None,
     ) -> None:
         self.config = config.validate()
         self.stats = StatsRegistry()
         self.space = AddressSpace(alignment=config.gpu.line_size)
         self.namespace = NamespaceTable(self.space)
         self.tracer = self._resolve_tracer(trace)
+        #: Fault injector (``repro.faults``) threaded through to the
+        #: memory subsystem and persistency models; None = clean run.
+        self.faults = faults
         self.gpu = GPU(
-            config, stats=self.stats, max_cycles=max_cycles, tracer=self.tracer
+            config,
+            stats=self.stats,
+            max_cycles=max_cycles,
+            tracer=self.tracer,
+            faults=faults,
+            watchdog_events=watchdog_events,
         )
         self.kernel_results: List[KernelResult] = []
         if pm_image is not None:

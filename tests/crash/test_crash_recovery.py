@@ -96,3 +96,45 @@ class TestScopedPersistencyBug:
 
     def test_block_scope_bug_reads_stale_data(self):
         assert self.run_demo(Scope.BLOCK) == 0
+
+
+class TestPersistBoundaries:
+    def make(self, model=ModelName.SBRP):
+        return CrashHarness(
+            lambda: build_app("gpkvs", **SIZES["gpkvs"]), small_system(model)
+        )
+
+    def test_fraction_zero_is_the_initial_image(self):
+        report = self.make().crash_at_fraction(0.0)
+        assert report.crash_time == 0.0
+        assert report.consistent and report.completed
+
+    def test_fraction_one_is_the_end_of_run(self):
+        harness = self.make()
+        report = harness.crash_at_fraction(1.0)
+        assert report.crash_time == harness.end_time()
+        assert report.consistent and report.completed
+
+    def test_boundaries_start_at_zero_sorted_distinct(self):
+        times = self.make().persist_boundaries()
+        assert times[0] == 0.0
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+        assert len(times) > 10  # gpkvs persists plenty of lines
+
+    def test_limit_subsamples_keeping_endpoints(self):
+        harness = self.make()
+        full = harness.persist_boundaries()
+        sub = harness.persist_boundaries(limit=7)
+        assert len(sub) == 7
+        assert sub[0] == full[0] and sub[-1] == full[-1]
+        assert set(sub) <= set(full)
+
+    def test_crash_at_every_persist_is_recoverable(self, model):
+        harness = CrashHarness(
+            lambda: build_app("gpkvs", **SIZES["gpkvs"]), small_system(model)
+        )
+        reports = harness.crash_at_every_persist(limit=10)
+        assert 0 < len(reports) <= 10
+        for report in reports:
+            assert report.consistent, report.error

@@ -72,3 +72,52 @@ class TestRandomizedCrashPoints:
         app2.recover(boot)
         boot.sync()
         app2.check(boot, complete=False)
+
+
+class TestTornCrashChains:
+    """Crash -> recover -> crash again, with every crash image torn
+    (the last in-flight line loses words): the logging protocols must
+    survive repeated torn failures under every model."""
+
+    def chain(self, model):
+        from repro.faults import FaultInjector, TornPersistPlan
+
+        def injector():
+            return FaultInjector(TornPersistPlan(span_cycles=500.0))
+
+        system = GPUSystem(small_system(model), faults=injector())
+        app = build_app("gpkvs", **PARAMS)
+        app.setup(system)
+        app.run(system)
+        system.sync()
+        image1 = system.crash(at=system.now * 0.5)
+
+        # Reboot with the injector still attached: the *rerun* after
+        # recovery crashes torn as well.
+        boot1 = GPUSystem(small_system(model), pm_image=image1, faults=injector())
+        app1 = build_app("gpkvs", **PARAMS)
+        app1.reopen(boot1)
+        app1.recover(boot1)
+        boot1.sync()
+        app1.check(boot1, complete=False)
+        app1.run(boot1)
+        boot1.sync()
+        image2 = boot1.crash(at=boot1.now * 0.75)
+
+        # Final reboot on clean hardware: recover and finish the batch.
+        boot2 = GPUSystem(small_system(model), pm_image=image2)
+        app2 = build_app("gpkvs", **PARAMS)
+        app2.reopen(boot2)
+        app2.recover(boot2)
+        boot2.sync()
+        app2.check(boot2, complete=False)
+        app2.run(boot2)
+        boot2.sync()
+        app2.check(boot2, complete=True)
+
+    @pytest.mark.parametrize(
+        "model", [ModelName.SBRP, ModelName.EPOCH, ModelName.GPM],
+        ids=lambda m: m.value,
+    )
+    def test_double_torn_crash_chain(self, model):
+        self.chain(model)

@@ -1,0 +1,102 @@
+"""The campaign CLI: smoke preset, determinism across workers, repro."""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import main
+
+
+def run_campaign(tmp_path, name, argv):
+    out = tmp_path / name
+    code = main(argv + ["--quiet", "--out", str(out)])
+    return code, out.read_bytes(), json.loads(out.read_text())
+
+
+class TestSmoke:
+    @pytest.fixture(scope="class")
+    def smoke(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("campaign")
+        return run_campaign(tmp_path, "smoke.json", ["--smoke"])
+
+    def test_exit_zero(self, smoke):
+        code, _, _ = smoke
+        assert code == 0
+
+    def test_clean_plans_report_zero_inconsistencies(self, smoke):
+        _, _, report = smoke
+        clean = [
+            row
+            for row in report["scenarios"]
+            if row["expect"] == "consistent"
+        ]
+        # gpkvs x {sbrp, gpm, epoch} x {power_cut, torn_persist:last}
+        assert len(clean) == 6
+        assert all(row["outcome"] == "consistent" for row in clean)
+        assert {row["model"] for row in clean} == {"sbrp", "gpm", "epoch"}
+
+    def test_seeded_bugs_are_flagged(self, smoke):
+        _, _, report = smoke
+        assert report["summary"]["seeded_flagged"] >= 1
+        seeded = [
+            row
+            for row in report["scenarios"]
+            if row["app_params"].get("seeded_bug")
+        ]
+        assert seeded and all(
+            row["outcome"] == "inconsistent" and row["reproducer"] is not None
+            for row in seeded
+        )
+
+    def test_formal_oracle_catches_dropped_drains(self, smoke):
+        _, _, report = smoke
+        assert report["summary"]["litmus_unreachable_detected"] == 1
+        faulty = next(
+            row for row in report["litmus"] if "drain_drop" in row["name"]
+        )
+        assert faulty["classification"] == "unreachable_state"
+        assert faulty["unreachable_images"]
+
+    def test_static_scope_bug_detected(self, smoke):
+        _, _, report = smoke
+        assert report["summary"]["scope_bugs_detected"] >= 1
+
+    def test_nothing_unexpected(self, smoke):
+        _, _, report = smoke
+        assert report["summary"]["unexpected"] == []
+
+
+class TestDeterminism:
+    ARGS = ["--smoke", "--models", "sbrp"]
+
+    def test_reports_byte_identical_across_worker_counts(self, tmp_path):
+        code1, bytes1, _ = run_campaign(
+            tmp_path, "w1.json", self.ARGS + ["--workers", "1"]
+        )
+        code2, bytes2, _ = run_campaign(
+            tmp_path, "w2.json", self.ARGS + ["--workers", "4"]
+        )
+        assert code1 == code2 == 0
+        assert bytes1 == bytes2
+
+
+class TestRepro:
+    def test_reproducer_round_trips(self, tmp_path):
+        code, _, report = run_campaign(
+            tmp_path, "seed.json", ["--smoke", "--models", "sbrp"]
+        )
+        assert code == 0
+        seeded = next(
+            row
+            for row in report["scenarios"]
+            if row["app_params"].get("seeded_bug")
+        )
+        spec = tmp_path / "repro.json"
+        spec.write_text(json.dumps(seeded["reproducer"]))
+        # Exit 0 = the pinned crash point reproduced the inconsistency.
+        assert main(["--repro", str(spec)]) == 0
+
+    def test_list_plans(self, capsys):
+        assert main(["--list-plans"]) == 0
+        out = capsys.readouterr().out
+        assert "torn_persist" in out and "ack_loss" in out

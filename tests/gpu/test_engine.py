@@ -101,3 +101,76 @@ def test_schedule_in_relative():
     engine.schedule(5, lambda t: engine.schedule_in(7, lambda t2: seen.append(t2)))
     engine.run()
     assert seen == [12]
+
+
+class TestWatchdog:
+    def make_spinner(self, watchdog_events):
+        engine = Engine(watchdog_events=watchdog_events)
+
+        def respawn(t):
+            engine.schedule(t + 1, respawn)
+
+        engine.schedule(0, respawn)
+        return engine
+
+    def test_no_progress_raises_livelock(self):
+        from repro.common.errors import LivelockError
+
+        engine = self.make_spinner(watchdog_events=100)
+        engine.schedule(10_000_000, lambda t: None)  # stays queued
+        with pytest.raises(LivelockError) as info:
+            engine.run()
+        err = info.value
+        assert err.idle_events == 101
+        assert err.queue_depths["engine.pending"] >= 1
+        assert "no forward progress" in str(err)
+
+    def test_livelock_is_a_simulation_error(self):
+        """Pre-existing `except SimulationError` handlers keep working."""
+        engine = self.make_spinner(watchdog_events=100)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_note_progress_resets_the_watchdog(self):
+        engine = Engine(watchdog_events=10)
+        seen = []
+
+        def step(t):
+            engine.note_progress()
+            seen.append(t)
+            if t < 50:
+                engine.schedule(t + 1, step)
+
+        engine.schedule(0, step)
+        engine.run()
+        assert len(seen) == 51  # 51 events > 10 budget, but each resets
+
+    def test_zero_disables_the_watchdog(self):
+        engine = Engine(max_cycles=10_000, watchdog_events=0)
+
+        def respawn(t):
+            if t < 500:
+                engine.schedule(t + 1, respawn)
+
+        engine.schedule(0, respawn)
+        engine.run()  # 500 idle events, no watchdog
+
+    def test_diagnostics_callback_is_included(self):
+        from repro.common.errors import LivelockError
+
+        engine = self.make_spinner(watchdog_events=50)
+        engine.watchdog_diagnostics = lambda: {"pb.occupancy": 7.0}
+        with pytest.raises(LivelockError) as info:
+            engine.run()
+        assert info.value.queue_depths["pb.occupancy"] == 7.0
+        assert "pb.occupancy=7" in str(info.value)
+
+    def test_reset_clears_idle_count(self):
+        from repro.common.errors import LivelockError
+
+        engine = self.make_spinner(watchdog_events=100)
+        with pytest.raises(LivelockError):
+            engine.run()
+        engine.reset()
+        engine.schedule(5, lambda t: None)
+        assert engine.run() == 5
