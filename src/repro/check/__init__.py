@@ -1,0 +1,46 @@
+"""Conformance checking: does the timing simulator refine the axioms?
+
+The subsystem closes the loop between the two halves of the repo:
+
+* the **operational** side — the event-driven simulator with its three
+  persistency models (GPM / Epoch / SBRP, :mod:`repro.persistency`);
+* the **axiomatic** side — Box 1 / Box 2 as explicit relation graphs
+  (:mod:`repro.formal`).
+
+A seeded fuzzer (:mod:`repro.check.fuzzer`) and a directed corpus
+(:mod:`repro.check.corpus`) generate small litmus programs; the
+enumerator (:mod:`repro.check.enumerator`) runs each one through the
+simulator under bounded scheduling perturbations; the differential
+oracle (:mod:`repro.check.oracle`) compares every observed crash image,
+dFence-completion image, and final image against the axiomatically
+allowed sets; divergences are minimized by the shrinker
+(:mod:`repro.check.shrink`) into ready-to-paste regression tests.
+
+Mutation teeth (:mod:`repro.check.mutants`) prove the harness can
+actually fail: deliberately broken SBRP variants must each be caught.
+
+Entry point::
+
+    python -m repro.check.conformance --smoke
+"""
+
+from repro.check.corpus import corpus_programs
+from repro.check.enumerator import SMOKE_VARIANTS, VARIANTS, Variant
+from repro.check.fuzzer import generate_program
+from repro.check.mutants import MUTANTS, build_mutant
+from repro.check.oracle import allowed_unconstrained, check_program
+from repro.check.shrink import regression_snippet, shrink_program
+
+__all__ = [
+    "MUTANTS",
+    "SMOKE_VARIANTS",
+    "VARIANTS",
+    "Variant",
+    "allowed_unconstrained",
+    "build_mutant",
+    "check_program",
+    "corpus_programs",
+    "generate_program",
+    "regression_snippet",
+    "shrink_program",
+]

@@ -1,0 +1,131 @@
+"""Directed litmus corpus: the programs every conformance run includes.
+
+The fuzzer explores; the corpus *aims*.  Each program here targets one
+specific ordering mechanism, chosen so that every shipped mutant
+(:mod:`repro.check.mutants`) is caught by at least one corpus program —
+the fuzzer then provides breadth on top.
+
+Location layout matters: the bridge assigns addresses by sorted
+location name at one-line stride, so with the default two-partition
+memory system consecutive names land on *different* NVM partitions.
+Programs that probe acceptance-order inversions put two persists on one
+partition (``pA``/``pC``) and the ordered-after write on the other
+(``pB``) — the first partition's WPQ backs up under congestion while
+the second stays empty.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.common.config import Scope
+from repro.formal.events import LitmusProgram
+
+
+def _mp_ofence_split() -> LitmusProgram:
+    """Message passing over oFence with the writes partition-split."""
+    p = LitmusProgram("mp_ofence_split")
+    p.thread(block=0).w("pA", 1).w("pC", 1).ofence().w("pB", 1)
+    return p
+
+
+def _block_release_pm_flag() -> LitmusProgram:
+    """Block-scope release of a PM-resident flag after two persists.
+
+    The program that exposed the eager-flag bug: the flag ``pB`` must
+    not be accepted before ``pA``/``pC`` even though the release itself
+    never leaves the SM.
+    """
+    p = LitmusProgram("block_release_pm_flag")
+    p.thread(block=0).w("pA", 1).w("pC", 1).prel("pB", 1, Scope.BLOCK)
+    return p
+
+
+def _device_release_pm_flag() -> LitmusProgram:
+    """Device-scope release of a PM flag: the ODM must force-drain."""
+    p = LitmusProgram("device_release_pm_flag")
+    p.thread(block=0).w("pA", 1).w("pC", 1).prel("pB", 1, Scope.DEVICE)
+    return p
+
+
+def _device_release_consumer() -> LitmusProgram:
+    """Cross-block consumer: rule 2's inter-thread pmo edge."""
+    p = LitmusProgram("device_release_consumer")
+    p.thread(block=0).w("pA", 1).prel("pF", 1, Scope.DEVICE)
+    p.thread(block=1).pacq("pF", Scope.DEVICE).w("pB", 1)
+    return p
+
+
+def _block_release_consumer() -> LitmusProgram:
+    """Same-block consumer over a volatile flag: the scopes win."""
+    p = LitmusProgram("block_release_consumer")
+    p.thread(block=0).w("pA", 1).prel("vF", 1, Scope.BLOCK)
+    p.thread(block=0).pacq("vF", Scope.BLOCK).w("pB", 1)
+    return p
+
+
+def _scope_mismatch() -> LitmusProgram:
+    """Block-scope pair across blocks: NO pmo edge, any order allowed."""
+    p = LitmusProgram("scope_mismatch")
+    p.thread(block=0).w("pA", 1).prel("vF", 1, Scope.BLOCK)
+    p.thread(block=1).pacq("vF", Scope.BLOCK).w("pB", 1)
+    return p
+
+
+def _dfence_then_write() -> LitmusProgram:
+    """dFence durability: pA must be durable when the fence completes."""
+    p = LitmusProgram("dfence_then_write")
+    p.thread(block=0).w("pA", 1).dfence().w("pB", 1)
+    return p
+
+
+def _dfence_split() -> LitmusProgram:
+    """dFence with partition-split persists on both sides."""
+    p = LitmusProgram("dfence_split")
+    p.thread(block=0).w("pA", 1).w("pC", 1).dfence().w("pB", 1)
+    return p
+
+
+def _overwrite_chain() -> LitmusProgram:
+    """Same-location overwrite across an oFence: pX must end at 2."""
+    p = LitmusProgram("overwrite_chain")
+    p.thread(block=0).w("pX", 1).ofence().w("pX", 2)
+    return p
+
+
+def _unfenced_pair() -> LitmusProgram:
+    """Two unordered persists: every subset/image is allowed (coverage)."""
+    p = LitmusProgram("unfenced_pair")
+    p.thread(block=0).w("pA", 1).w("pB", 1)
+    return p
+
+
+def _transitive_chain() -> LitmusProgram:
+    """pmo transitivity through two device-scope release hops."""
+    p = LitmusProgram("transitive_chain")
+    p.thread(block=0).w("pA", 1).prel("vF", 1, Scope.DEVICE)
+    p.thread(block=1).pacq("vF", Scope.DEVICE).w("pB", 1).prel(
+        "vG", 1, Scope.DEVICE
+    )
+    p.thread(block=1).pacq("vG", Scope.DEVICE).w("pC", 1)
+    return p
+
+
+_BUILDERS: List[Tuple[str, Callable[[], LitmusProgram]]] = [
+    ("mp_ofence_split", _mp_ofence_split),
+    ("block_release_pm_flag", _block_release_pm_flag),
+    ("device_release_pm_flag", _device_release_pm_flag),
+    ("device_release_consumer", _device_release_consumer),
+    ("block_release_consumer", _block_release_consumer),
+    ("scope_mismatch", _scope_mismatch),
+    ("dfence_then_write", _dfence_then_write),
+    ("dfence_split", _dfence_split),
+    ("overwrite_chain", _overwrite_chain),
+    ("unfenced_pair", _unfenced_pair),
+    ("transitive_chain", _transitive_chain),
+]
+
+
+def corpus_programs() -> List[LitmusProgram]:
+    """Fresh (independent event-id) instances, in registry order."""
+    return [build().validate() for _, build in _BUILDERS]

@@ -1,0 +1,121 @@
+"""Outcome enumeration: run one program under bounded perturbations.
+
+Each :class:`Variant` is one bounded scheduling/configuration
+perturbation of the simulator — a drain-policy choice, a drain-window
+setting, WPQ congestion, a reversed warp-issue order, or the Figure 7
+scope demotion.  The ``congested`` variants are the load-bearing ones:
+with ``wpq_entries=1`` and NVM bandwidth scaled to 2% a single
+partition's write-pending queue backs up for thousands of cycles, so
+any persist the model *fails* to order is accepted visibly out of
+order (acceptance into the WPQ is the durability point, and acceptance
+order across partitions is not global).
+
+Crash-at-every-persist is implicit: :func:`simulate_program` samples
+the durable image at every persist-log boundary, so every acceptance
+instant contributes one observed crash image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.common.config import DrainPolicy, ModelName, SystemConfig
+from repro.common.errors import ConfigError
+from repro.formal.bridge import SimulationObservation, base_config, simulate_program
+from repro.formal.events import LitmusProgram
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One perturbation of the base litmus configuration."""
+
+    name: str
+    drain_policy: Optional[str] = None
+    window: Optional[int] = None
+    wpq_entries: Optional[int] = None
+    nvm_bw_scale: Optional[float] = None
+    demote_block_scope: bool = False
+    reverse_threads: bool = False
+
+    def configure(self, program: LitmusProgram, model: ModelName) -> SystemConfig:
+        config = base_config(program, model)
+        sbrp = config.sbrp
+        if self.drain_policy is not None:
+            sbrp = replace(sbrp, drain_policy=DrainPolicy(self.drain_policy))
+        if self.window is not None:
+            sbrp = replace(sbrp, window=self.window)
+        if self.demote_block_scope:
+            sbrp = replace(sbrp, demote_block_scope=True)
+        memory = config.memory
+        if self.wpq_entries is not None:
+            memory = replace(memory, wpq_entries=self.wpq_entries)
+        if self.nvm_bw_scale is not None:
+            memory = replace(memory, nvm_bw_scale=self.nvm_bw_scale)
+        return replace(config, sbrp=sbrp, memory=memory)
+
+    def thread_order(self, program: LitmusProgram) -> Optional[Sequence[int]]:
+        if not self.reverse_threads:
+            return None
+        return list(reversed(range(len(program.threads))))
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "Variant":
+        return Variant(**dict(data))
+
+
+#: The full sweep.  Congestion knobs follow the recipe above; window=1
+#: throttles the drain to one outstanding send (maximum buffering).
+VARIANTS: List[Variant] = [
+    Variant("base"),
+    Variant("eager", drain_policy="eager"),
+    Variant("lazy", drain_policy="lazy"),
+    Variant("window1", window=1),
+    Variant("congested", wpq_entries=1, nvm_bw_scale=0.02),
+    Variant("congested_eager", drain_policy="eager", wpq_entries=1, nvm_bw_scale=0.02),
+    Variant("reversed", reverse_threads=True),
+    Variant(
+        "congested_reversed", wpq_entries=1, nvm_bw_scale=0.02, reverse_threads=True
+    ),
+    Variant("demoted", demote_block_scope=True),
+]
+
+#: The quick subset used by ``--smoke`` and by shrinking re-checks.
+#: ``window1`` is load-bearing: with at most one outstanding send the
+#: persist buffer actually *buffers*, so FIFO-order mutations surface.
+SMOKE_VARIANTS: List[Variant] = [
+    VARIANTS[0],  # base
+    VARIANTS[3],  # window1
+    VARIANTS[4],  # congested
+    VARIANTS[6],  # reversed
+]
+
+_BY_NAME: Dict[str, Variant] = {v.name: v for v in VARIANTS}
+
+
+def variants_by_name(names: Sequence[str]) -> List[Variant]:
+    missing = [n for n in names if n not in _BY_NAME]
+    if missing:
+        raise ConfigError(f"unknown variants {missing}; have {sorted(_BY_NAME)}")
+    return [_BY_NAME[n] for n in names]
+
+
+def observe(
+    program: LitmusProgram,
+    model: ModelName,
+    variant: Variant,
+    crash_points: int = 48,
+    model_factory: Any = None,
+) -> SimulationObservation:
+    """One simulator run of *program* under *variant*."""
+    return simulate_program(
+        program,
+        model=model,
+        config=variant.configure(program, model),
+        crash_points=crash_points,
+        model_factory=model_factory,
+        thread_order=variant.thread_order(program),
+    )

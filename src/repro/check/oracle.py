@@ -1,0 +1,216 @@
+"""The differential oracle: operational observations vs axiomatic sets.
+
+Three checks, in increasing order of witness-specificity:
+
+1. **Unconstrained soundness** — every crash image the simulator ever
+   produced must be allowed by *some* synchronization witness with *no*
+   dFence-completion assumption (a crash can land before any fence
+   completes).  An observed-but-forbidden image means the hardware
+   model violates Box 2.
+
+2. **dFence obligation** — at the instant a dFence completed, the
+   durable image must be allowed under the *observed* witness with that
+   fence (and every earlier-completing one) marked completed.  Checking
+   at the completion instant is exact: durable sets only grow, so a
+   violation visible later was already visible then.
+
+3. **Final completeness** — after ``sync()`` the image must be one of
+   the fully-drained images of the observed witness: every executed
+   persist durable, only the per-location choice among pmo-maximal
+   writes free.  This is the check that catches "acknowledged but never
+   written" drains, which check 1 cannot see (the empty image is always
+   an allowed *subset*).
+
+Coverage (allowed-but-never-observed images) is reported but is not a
+failure: a timing simulator legitimately explores one schedule per
+configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.common.config import ModelName
+from repro.common.errors import LitmusError
+from repro.formal.crash_states import allowed_crash_images, allowed_final_images
+from repro.formal.events import LitmusProgram, all_reads_from
+from repro.formal.relations import ExecutionWitness
+
+from repro.check.enumerator import Variant, observe
+from repro.check.mutants import build_mutant
+
+#: Canonical image form: sorted (loc, value) pairs, zeros dropped — the
+#: initial value of every location is zero, so "absent" and "zero" are
+#: the same durable state.
+NormImage = Tuple[Tuple[str, int], ...]
+
+
+def normalize(image: Dict[str, int]) -> NormImage:
+    return tuple(sorted((k, v) for k, v in image.items() if v != 0))
+
+
+def allowed_unconstrained(program: LitmusProgram) -> Set[NormImage]:
+    """Union over every feasible witness of the allowed crash images."""
+    allowed: Set[NormImage] = set()
+    for reads_from in all_reads_from(program):
+        try:
+            images = allowed_crash_images(ExecutionWitness(program, reads_from))
+        except LitmusError:
+            continue  # infeasible witness (cyclic vmo/pmo)
+        allowed.update(normalize(image) for image in images)
+    return allowed
+
+
+def _observed_witness(
+    program: LitmusProgram, reads_from: Dict[int, Optional[int]]
+) -> Optional[ExecutionWitness]:
+    """The witness the run actually took, or None when any acquire's
+    observed value mapped to no known release (foreign writes to flag
+    locations — the fuzzer never generates these, but directed programs
+    might)."""
+    acquires = program.acquires()
+    if len(reads_from) != len(acquires):
+        return None
+    if any(source is None for source in reads_from.values()):
+        return None
+    return ExecutionWitness(program, dict(reads_from))
+
+
+def check_observation(
+    program: LitmusProgram,
+    observation: Any,
+    allowed: Set[NormImage],
+    variant_name: str,
+) -> List[Dict[str, Any]]:
+    """All three oracle checks against one simulator run."""
+    violations: List[Dict[str, Any]] = []
+    for time, image in observation.images:
+        norm = normalize(image)
+        if norm not in allowed:
+            violations.append(
+                {
+                    "type": "soundness",
+                    "variant": variant_name,
+                    "time": time,
+                    "image": dict(norm),
+                }
+            )
+    witness = _observed_witness(program, observation.reads_from)
+    if witness is None:
+        return violations
+    try:
+        completed: List[int] = []
+        for eid, (time, image) in sorted(
+            observation.dfence_images.items(), key=lambda kv: (kv[1][0], kv[0])
+        ):
+            completed.append(eid)
+            allowed_now = {
+                normalize(img)
+                for img in allowed_crash_images(witness, completed)
+            }
+            if normalize(image) not in allowed_now:
+                violations.append(
+                    {
+                        "type": "dfence",
+                        "variant": variant_name,
+                        "time": time,
+                        "image": dict(normalize(image)),
+                    }
+                )
+        finals = {normalize(img) for img in allowed_final_images(witness)}
+        if normalize(observation.final_image) not in finals:
+            violations.append(
+                {
+                    "type": "final",
+                    "variant": variant_name,
+                    "image": dict(normalize(observation.final_image)),
+                }
+            )
+    except LitmusError as err:
+        # The run synchronized in a way the axioms call infeasible.
+        violations.append(
+            {
+                "type": "witness_error",
+                "variant": variant_name,
+                "error": str(err),
+            }
+        )
+    return violations
+
+
+def check_program(
+    program: LitmusProgram,
+    model: ModelName,
+    variants: List[Variant],
+    crash_points: int = 48,
+    mutant: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run *program* under every variant and apply the oracle.
+
+    Returns a plain-JSON report; ``violations`` is the total count
+    across variants (0 = the model refined its spec on this program).
+    A simulation that dies (deadlock, livelock, drain stall) counts as
+    a violation too — mutants are allowed to wedge the machine, and a
+    wedge on an unmodified model is exactly what the harness is for.
+    """
+    model_factory = build_mutant(mutant) if mutant is not None else None
+    allowed = allowed_unconstrained(program)
+    observed: Set[NormImage] = set()
+    variant_reports: List[Dict[str, Any]] = []
+    sim_cycles = 0.0
+    for variant in variants:
+        try:
+            obs = observe(
+                program,
+                model,
+                variant,
+                crash_points=crash_points,
+                model_factory=model_factory,
+            )
+        except Exception as err:  # noqa: BLE001 - any wedge is a finding
+            variant_reports.append(
+                {
+                    "variant": variant.name,
+                    "violations": [
+                        {
+                            "type": "simulation_error",
+                            "variant": variant.name,
+                            "error": f"{type(err).__name__}: {err}",
+                        }
+                    ],
+                }
+            )
+            continue
+        sim_cycles += obs.end
+        observed.update(normalize(image) for image in obs.image_dicts())
+        variant_reports.append(
+            {
+                "variant": variant.name,
+                "end": obs.end,
+                "violations": check_observation(
+                    program, obs, allowed, variant.name
+                ),
+            }
+        )
+    never_observed = sorted(allowed - observed)
+    return {
+        "program": program.name,
+        "ops": program.op_count(),
+        "model": model.value,
+        "mutant": mutant,
+        "violations": sum(len(v["violations"]) for v in variant_reports),
+        "variants": variant_reports,
+        "coverage": {
+            "allowed": len(allowed),
+            "observed_allowed": len(observed & allowed),
+            "never_observed": [dict(n) for n in never_observed[:8]],
+        },
+        "sim_cycles": sim_cycles,
+    }
+
+
+def failing_variants(report: Dict[str, Any]) -> List[str]:
+    """Names of variants with at least one violation, in sweep order."""
+    return [
+        v["variant"] for v in report["variants"] if v["violations"]
+    ]

@@ -1,0 +1,59 @@
+"""Worker-side batch runner for conformance jobs.
+
+A check job's spec is plain JSON — serialized programs, variant list,
+target model, optional mutant name — so batches cross process
+boundaries through the shared :class:`~repro.exec.executor.Executor`
+exactly like scenario/recovery/fault jobs do, and results land in the
+same content-addressed cache.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Mapping
+
+from repro.common.config import ModelName
+from repro.formal.events import LitmusProgram
+
+from repro.check.enumerator import Variant
+from repro.check.oracle import check_program
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bench.runner import ScenarioResult
+
+
+def run_check_batch(spec: Mapping[str, Any]) -> "ScenarioResult":
+    """Execute one conformance batch; returns a plain-JSON result."""
+    from repro.bench.runner import ScenarioResult
+
+    programs = [LitmusProgram.from_json(p) for p in spec["programs"]]
+    model = ModelName(spec["model"])
+    mutant = spec.get("mutant")
+    variants = [Variant.from_json(v) for v in spec["variants"]]
+    crash_points = int(spec.get("crash_points", 48))
+
+    reports = [
+        check_program(
+            program, model, variants, crash_points=crash_points, mutant=mutant
+        )
+        for program in programs
+    ]
+    violations = sum(r["violations"] for r in reports)
+    sim_cycles = sum(r["sim_cycles"] for r in reports)
+    stats: Dict[str, float] = {
+        "check.programs": float(len(reports)),
+        "check.variants": float(len(variants)),
+        "check.violations": float(violations),
+        "check.sim_cycles": sim_cycles,
+    }
+    label = f"{model.value}:{mutant or 'stock'}"
+    return ScenarioResult(
+        app="conformance",
+        label=label,
+        cycles=sim_cycles,
+        stats=stats,
+        detail={
+            "model": model.value,
+            "mutant": mutant,
+            "programs": reports,
+        },
+    )

@@ -1,0 +1,139 @@
+"""Counterexample shrinking: minimize a diverging litmus program.
+
+Greedy delta-debugging over the program's JSON form: repeatedly try
+removing one thread or one event, keep any candidate on which the
+failure predicate still holds, iterate to a fixpoint.  Removals
+cascade to keep candidates *operationally safe*: dropping a release
+also drops every acquire of its flag (an acquire with no releaser spins
+until the watchdog fires — a slow, uninteresting way to "fail").
+
+The predicate re-runs the differential oracle, usually restricted to
+the variants that produced the original divergence, so shrinking costs
+a handful of simulator runs per candidate.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Iterator, List
+
+from repro.formal.events import LitmusProgram
+
+
+def _strip_orphan_acquires(threads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Drop acquires of flags no remaining release writes, then empty
+    threads.  Single pass suffices: stripping acquires removes no
+    releases."""
+    released = {
+        e["loc"]
+        for t in threads
+        for e in t["events"]
+        if e["kind"] == "PREL"
+    }
+    out = []
+    for t in threads:
+        events = [
+            e
+            for e in t["events"]
+            if not (e["kind"] == "PACQ" and e["loc"] not in released)
+        ]
+        if events:
+            out.append({"block": t["block"], "events": events})
+    return out
+
+
+def _candidates(data: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """One-removal neighbors of a program, biggest cuts first."""
+    threads = data["threads"]
+    if len(threads) > 1:
+        for i in range(len(threads)):
+            kept = _strip_orphan_acquires(
+                copy.deepcopy([t for j, t in enumerate(threads) if j != i])
+            )
+            if kept:
+                yield {"name": data["name"], "threads": kept}
+    for ti in range(len(threads)):
+        for ei in range(len(threads[ti]["events"])):
+            new_threads = copy.deepcopy(threads)
+            new_threads[ti]["events"].pop(ei)
+            kept = _strip_orphan_acquires(new_threads)
+            if kept:
+                yield {"name": data["name"], "threads": kept}
+
+
+def shrink_program(
+    program: LitmusProgram,
+    still_fails: Callable[[LitmusProgram], bool],
+    max_checks: int = 200,
+) -> LitmusProgram:
+    """Smallest one-removal-minimal program on which *still_fails* holds.
+
+    *program* itself must satisfy the predicate.  *max_checks* bounds
+    the total predicate evaluations (each is a few simulator runs).
+    """
+    current = program.to_json()
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate_data in _candidates(current):
+            if checks >= max_checks:
+                break
+            candidate = LitmusProgram.from_json(candidate_data)
+            checks += 1
+            if still_fails(candidate):
+                current = candidate_data
+                improved = True
+                break
+    shrunk = LitmusProgram.from_json(current)
+    shrunk.name = f"{program.name}-shrunk"
+    return shrunk
+
+
+def _builder_lines(program: LitmusProgram) -> List[str]:
+    lines = [f"program = LitmusProgram({program.name!r})"]
+    for thread in program.threads:
+        expr = f"program.thread(block={thread.block})"
+        for e in thread.events:
+            kind = e.kind.name
+            if kind in ("W", "WV"):
+                expr += f".w({e.loc!r}, {e.value})"
+            elif kind == "R":
+                expr += f".r({e.loc!r})"
+            elif kind == "OFENCE":
+                expr += ".ofence()"
+            elif kind == "DFENCE":
+                expr += ".dfence()"
+            elif kind == "PACQ":
+                expr += f".pacq({e.loc!r}, Scope.{e.scope.name})"
+            else:
+                expr += f".prel({e.loc!r}, {e.value}, Scope.{e.scope.name})"
+        lines.append(expr)
+    return lines
+
+
+def regression_snippet(
+    program: LitmusProgram,
+    model: str,
+    mutant: str,
+    variant_names: List[str],
+) -> str:
+    """A ready-to-paste pytest function reproducing the divergence."""
+    slug = mutant.replace("-", "_")
+    body = "\n    ".join(_builder_lines(program))
+    return (
+        f"def test_conformance_regression_{slug}():\n"
+        f"    from repro.common.config import ModelName, Scope\n"
+        f"    from repro.formal.events import LitmusProgram\n"
+        f"    from repro.check.enumerator import variants_by_name\n"
+        f"    from repro.check.oracle import check_program\n"
+        f"\n"
+        f"    {body}\n"
+        f"    report = check_program(\n"
+        f"        program.validate(),\n"
+        f"        ModelName({model!r}),\n"
+        f"        variants_by_name({variant_names!r}),\n"
+        f"        mutant={mutant!r},\n"
+        f"    )\n"
+        f"    assert report[\"violations\"] > 0\n"
+    )

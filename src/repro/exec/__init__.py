@@ -27,6 +27,7 @@ from repro.exec.executor import (
     execute_job_payload,
 )
 from repro.exec.jobs import (
+    MODE_CHECK,
     MODE_FAULTS,
     MODE_RECOVERY,
     MODE_SCENARIO,
@@ -41,6 +42,7 @@ __all__ = [
     "Executor",
     "JobFailedError",
     "JobOutcome",
+    "MODE_CHECK",
     "MODE_FAULTS",
     "MODE_RECOVERY",
     "MODE_SCENARIO",

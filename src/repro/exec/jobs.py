@@ -36,8 +36,11 @@ MODE_RECOVERY = "recovery"
 #: Fault campaign: run the app under an injected fault plan, crash at
 #: every persist boundary, classify each recovery through the oracles.
 MODE_FAULTS = "faults"
+#: Conformance batch: run litmus programs through the operational
+#: simulator and diff every observed image against the axiomatic model.
+MODE_CHECK = "check"
 
-_MODES = (MODE_SCENARIO, MODE_RECOVERY, MODE_FAULTS)
+_MODES = (MODE_SCENARIO, MODE_RECOVERY, MODE_FAULTS, MODE_CHECK)
 
 _code_fingerprint: Optional[str] = None
 
@@ -81,6 +84,10 @@ class ScenarioJob:
     #: runner knobs (``max_crash_points``, ``crash_times``); required
     #: for — and only valid in — :data:`MODE_FAULTS`.
     fault: Optional[Mapping[str, Any]] = None
+    #: Conformance batch payload (serialized programs + variants +
+    #: target model / mutant, see :mod:`repro.check.runner`); required
+    #: for — and only valid in — :data:`MODE_CHECK`.
+    check: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -89,6 +96,11 @@ class ScenarioJob:
             raise ConfigError(
                 "a fault plan is required for (and only valid in) "
                 f"mode={MODE_FAULTS!r}"
+            )
+        if (self.mode == MODE_CHECK) != (self.check is not None):
+            raise ConfigError(
+                "a check payload is required for (and only valid in) "
+                f"mode={MODE_CHECK!r}"
             )
 
     # ------------------------------------------------------------------
@@ -110,6 +122,8 @@ class ScenarioJob:
         }
         if self.fault is not None:
             spec["fault"] = dict(self.fault)
+        if self.check is not None:
+            spec["check"] = dict(self.check)
         return spec
 
     @property
@@ -134,6 +148,8 @@ class ScenarioJob:
             name += f"[{self.mode}]"
         if self.fault is not None and self.fault.get("kind"):
             name += f"[{self.fault['kind']}]"
+        if self.check is not None and self.check.get("mutant"):
+            name += f"[{self.check['mutant']}]"
         if self.trace_tag:
             name += f"[{self.trace_tag}]"
         return name
@@ -152,6 +168,7 @@ class ScenarioJob:
             "trace_dir": self.trace_dir,
             "trace_tag": self.trace_tag,
             "fault": dict(self.fault) if self.fault is not None else None,
+            "check": dict(self.check) if self.check is not None else None,
         }
 
     @staticmethod
@@ -166,6 +183,7 @@ class ScenarioJob:
             trace_dir=data.get("trace_dir"),
             trace_tag=data.get("trace_tag"),
             fault=data.get("fault"),
+            check=data.get("check"),
         )
 
     # ------------------------------------------------------------------
@@ -181,6 +199,11 @@ class ScenarioJob:
             return self._execute_recovery()
         if self.mode == MODE_FAULTS:
             return self._execute_faults()
+        if self.mode == MODE_CHECK:
+            from repro.check.runner import run_check_batch
+
+            assert self.check is not None  # enforced by __post_init__
+            return run_check_batch(dict(self.check))
         return run_scenario(
             self.app,
             self.config,

@@ -27,7 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.config import ModelName, PMPlacement, small_system
@@ -102,22 +102,37 @@ class Cell:
     placement: PMPlacement
     plan: FaultPlan
     max_crash_points: int
+    #: Optional memory-system overrides.  A single-entry WPQ with
+    #: throttled NVM bandwidth makes acceptance order diverge from send
+    #: order across partitions — the congestion that turns latent
+    #: ordering bugs (``missing_ofence``) into detected ones.
+    wpq_entries: Optional[int] = None
+    nvm_bw_scale: Optional[float] = None
 
     @property
     def name(self) -> str:
         tag = self.app_params.get("seeded_bug", "")
         seeded = f"!{tag}" if tag else ""
+        congested = "~congested" if self.wpq_entries is not None else ""
         return (
             f"{self.app}{seeded}@{self.model.value}-{self.placement.value}"
-            f"#{self.plan.label}"
+            f"{congested}#{self.plan.label}"
         )
 
     def job(self) -> ScenarioJob:
         fault = dict(self.plan.to_json())
         fault["max_crash_points"] = self.max_crash_points
+        config = small_system(self.model, placement=self.placement)
+        if self.wpq_entries is not None or self.nvm_bw_scale is not None:
+            memory = config.memory
+            if self.wpq_entries is not None:
+                memory = replace(memory, wpq_entries=self.wpq_entries)
+            if self.nvm_bw_scale is not None:
+                memory = replace(memory, nvm_bw_scale=self.nvm_bw_scale)
+            config = replace(config, memory=memory)
         return ScenarioJob(
             app=self.app,
-            config=small_system(self.model, placement=self.placement),
+            config=config,
             app_params=dict(self.app_params),
             mode=MODE_FAULTS,
             fault=fault,
@@ -150,6 +165,48 @@ def seeded_cells(
     ]
 
 
+def congested_cells(
+    models: Tuple[ModelName, ...],
+    max_points: int,
+    params: Optional[Dict[str, Any]] = None,
+) -> List[Cell]:
+    """The ``missing_ofence`` teeth check.
+
+    The bug drops the record->table ordering fence, which is *latent*
+    under an uncongested FIFO drain: the persist buffer happens to send
+    the undo record before the table overwrite anyway.  A single-entry
+    WPQ at 2% NVM bandwidth decouples acceptance order from send order
+    across the two NVM partitions, so some table overwrite becomes
+    durable before its (invalid) undo record — and a crash in that
+    window defeats recovery.
+
+    Acceptance order only diverges *across* partitions (each partition's
+    WPQ is FIFO), so the capacity is adjusted to give the table regions
+    an odd line count: that flips ``tbl_val``'s base-line parity, putting
+    every op group's value line on the opposite partition from its undo
+    record.  With an even line count the whole group shares a partition
+    and the bug stays hidden no matter how congested the drain is.
+    """
+    base = dict(params or SMOKE_PARAMS)
+    cap_lines = -(-4 * int(base["capacity"]) // 128)
+    if cap_lines % 2 == 0:
+        base["capacity"] = (cap_lines - 1) * 32
+    plan = PowerCutPlan(expect=EXPECT_INCONSISTENT)
+    return [
+        Cell(
+            app="gpkvs",
+            app_params={**base, "seeded_bug": "missing_ofence"},
+            model=model,
+            placement=PMPlacement.FAR,
+            plan=plan,
+            max_crash_points=max_points,
+            wpq_entries=1,
+            nvm_bw_scale=0.02,
+        )
+        for model in models
+    ]
+
+
 def smoke_cells(models: Tuple[ModelName, ...]) -> List[Cell]:
     """The bounded CI preset: gpKVS under every model, clean power cuts
     plus safe torn persists, and the seeded-bug teeth check under SBRP."""
@@ -169,6 +226,7 @@ def smoke_cells(models: Tuple[ModelName, ...]) -> List[Cell]:
         (ModelName.SBRP,) if ModelName.SBRP in models else models[:1]
     )
     cells += seeded_cells(seeded_models, SMOKE_MAX_CRASH_POINTS)
+    cells += congested_cells(seeded_models, SMOKE_MAX_CRASH_POINTS)
     return cells
 
 
@@ -194,6 +252,7 @@ def full_cells(
         for _, plan in sorted(plans.items())
     ]
     cells += seeded_cells(models[:1], max_points, params=APP_PARAMS["gpkvs"])
+    cells += congested_cells(models[:1], max_points, params=APP_PARAMS["gpkvs"])
     return cells
 
 

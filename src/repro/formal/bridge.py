@@ -5,16 +5,191 @@ crash images observed from the simulator's persist log at every instant
 must be a subset of what the axiomatic model allows — if the simulator
 ever produces an image the model forbids, the hardware implementation
 violates its own specification.
+
+:func:`simulate_program` is the general entry point used by the
+conformance checker (:mod:`repro.check`): it returns not just the
+deduplicated crash images but the *observed execution* — which release
+each acquire actually read, when each dFence completed and what was
+durable at that instant, and the final post-drain image — so the
+differential oracle can check the durability obligations that depend on
+the witness, not only unconstrained downward closure.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.common.config import ModelName, Scope, small_system
+from repro.common.config import ModelName, Scope, SystemConfig, small_system
 from repro.formal.events import EventKind, LitmusProgram
 from repro.formal.litmus import LitmusTest, run_litmus
 from repro.system import GPUSystem
+
+#: Word spacing between litmus locations.  One cache line apart, so each
+#: location gets its own persist record and (with the default two-
+#: partition memory system) consecutive locations land on *different*
+#: NVM partitions — exactly the layout where acceptance-order bugs show.
+LOC_STRIDE = 128
+
+
+@dataclass
+class SimulationObservation:
+    """Everything one simulator run of a litmus program revealed."""
+
+    #: Distinct durable PM images in order of first appearance, with the
+    #: earliest time each was observed.
+    images: List[Tuple[float, Dict[str, int]]] = field(default_factory=list)
+    #: The post-``sync()`` image: every buffered persist has drained.
+    final_image: Dict[str, int] = field(default_factory=dict)
+    #: dFence eid -> (completion time, durable image at that instant).
+    dfence_images: Dict[int, Tuple[float, Dict[str, int]]] = field(
+        default_factory=dict
+    )
+    #: Observed witness: acquire eid -> eid of the release it read (by
+    #: flag value), or None when the value matched no known release.
+    reads_from: Dict[int, Optional[int]] = field(default_factory=dict)
+    #: Simulated completion time of the run.
+    end: float = 0.0
+
+    def image_dicts(self) -> List[Dict[str, int]]:
+        return [image for _, image in self.images]
+
+
+def base_config(
+    program: LitmusProgram, model: ModelName = ModelName.SBRP
+) -> SystemConfig:
+    """The default shrunk system for a litmus program: one SM per block
+    (at least two) and enough warp slots for the widest block."""
+    blocks = sorted({t.block for t in program.threads})
+    widest = max(
+        sum(1 for t in program.threads if t.block == b) for b in blocks
+    )
+    return small_system(
+        model, num_sms=max(2, len(blocks)), threads_per_block=32 * max(2, widest)
+    )
+
+
+def simulate_program(
+    program: LitmusProgram,
+    model: ModelName = ModelName.SBRP,
+    config: Optional[SystemConfig] = None,
+    crash_points: int = 64,
+    faults: Optional[Any] = None,
+    model_factory: Optional[Callable[..., Any]] = None,
+    thread_order: Optional[Sequence[int]] = None,
+) -> SimulationObservation:
+    """Run *program* on the timing simulator and observe its execution.
+
+    *config* overrides the default shrunk system (the conformance
+    enumerator sweeps drain policies and WPQ congestion this way).
+    *model_factory* builds the persistency model instead of the config's
+    registered one — the mutation-teeth hook.  *thread_order* permutes
+    the warp assignment of threads within each block (a bounded
+    scheduling perturbation); it lists thread ids in issue-slot order.
+    """
+    program.validate()
+    blocks = sorted({t.block for t in program.threads})
+    if config is None:
+        config = base_config(program, model)
+    system = GPUSystem(config, faults=faults, model_factory=model_factory)
+
+    locations = sorted(
+        {e.loc for e in program.events() if e.loc is not None}
+    )
+    pm_region = system.pm_create("litmus.pm", LOC_STRIDE * max(1, len(locations)))
+    vol_region = system.malloc(LOC_STRIDE * max(1, len(locations)))
+    addr: Dict[str, int] = {}
+    for index, loc in enumerate(locations):
+        region = pm_region if loc.startswith("p") else vol_region
+        addr[loc] = region.base + LOC_STRIDE * index
+
+    # Flag value -> release eid, for reconstructing the witness from the
+    # value each acquire spun up on.  Generated programs keep values
+    # unique per location, so the mapping is unambiguous there.
+    release_of_value: Dict[Tuple[str, int], int] = {}
+    for rel in program.releases():
+        release_of_value.setdefault((rel.loc, rel.value), rel.eid)
+
+    order = list(thread_order) if thread_order is not None else None
+    observation = SimulationObservation()
+
+    def thread_rank(tid: int) -> int:
+        if order is None:
+            return tid
+        try:
+            return order.index(tid)
+        except ValueError:
+            return len(order) + tid
+
+    def kernel(w):
+        mine = [
+            t
+            for t in program.threads
+            if t.block == blocks[w.block_id % len(blocks)]
+        ]
+        mine.sort(key=lambda t: thread_rank(t.tid))
+        if w.warp_in_block >= len(mine):
+            return
+        thread = mine[w.warp_in_block]
+        leader = w.lane == 0
+        for event in thread.events:
+            if event.kind in (EventKind.W, EventKind.WV):
+                yield w.st(addr[event.loc], event.value, mask=leader)
+            elif event.kind is EventKind.R:
+                yield w.ld(addr[event.loc], mask=leader)
+            elif event.kind is EventKind.OFENCE:
+                yield w.ofence()
+            elif event.kind is EventKind.DFENCE:
+                yield w.dfence()
+                now = system.gpu.engine.now
+                observation.dfence_images[event.eid] = (now, {})
+            elif event.kind is EventKind.PREL:
+                yield w.prel(addr[event.loc], event.value, event.scope)
+            elif event.kind is EventKind.PACQ:
+                while True:
+                    got = yield w.pacq(addr[event.loc], event.scope)
+                    if got != 0:
+                        break
+                observation.reads_from[event.eid] = release_of_value.get(
+                    (event.loc, got)
+                )
+
+    system.launch(kernel, grid_blocks=len(blocks))
+    system.sync()
+
+    end = system.gpu.engine.now
+    observation.end = end
+
+    def named_image(t: float) -> Dict[str, int]:
+        image = system.gpu.subsystem.crash_image(t)
+        return {
+            loc: image.get(a, 0)
+            for loc, a in addr.items()
+            if loc.startswith("p")
+        }
+
+    # Every instant where the durable image can change, plus an even
+    # sampling (the boundaries alone would miss nothing, but the spaced
+    # points keep the historical behavior for coarse sweeps).
+    times = set(system.gpu.subsystem.persist_log.boundary_times(end=end))
+    times.update(end * i / crash_points for i in range(crash_points + 1))
+    seen: Set[Tuple[Tuple[str, int], ...]] = set()
+    for t in sorted(times):
+        named = named_image(t)
+        key = tuple(sorted(named.items()))
+        if key not in seen:
+            seen.add(key)
+            observation.images.append((t, named))
+
+    observation.final_image = named_image(end)
+    # A dFence's durability obligation binds at its completion instant:
+    # everything the issuing thread persisted before it must already be
+    # durable *then* (later images only grow).
+    observation.dfence_images = {
+        eid: (t, named_image(t))
+        for eid, (t, _) in observation.dfence_images.items()
+    }
+    return observation
 
 
 def simulate_litmus(
@@ -31,75 +206,10 @@ def simulate_litmus(
     campaign run litmus programs on deliberately broken hardware and
     check whether the formal oracle notices."""
     program = test.build().validate()
-    blocks = sorted({t.block for t in program.threads})
-    # All threads of a block share a threadblock; each thread is one
-    # warp.  Threads/block is sized to fit the widest block.
-    widest = max(
-        sum(1 for t in program.threads if t.block == b) for b in blocks
+    observation = simulate_program(
+        program, model=model, crash_points=crash_points, faults=faults
     )
-    config = small_system(
-        model, num_sms=max(2, len(blocks)), threads_per_block=32 * max(2, widest)
-    )
-    system = GPUSystem(config, faults=faults)
-
-    locations = sorted(
-        {e.loc for e in program.events() if e.loc is not None}
-    )
-    pm_region = system.pm_create("litmus.pm", 128 * max(1, len(locations)))
-    vol_region = system.malloc(128 * max(1, len(locations)))
-    addr: Dict[str, int] = {}
-    for index, loc in enumerate(locations):
-        region = pm_region if loc.startswith("p") else vol_region
-        addr[loc] = region.base + 128 * index
-
-    def kernel(w):
-        mine = [
-            t
-            for t in program.threads
-            if t.block == blocks[w.block_id % len(blocks)]
-        ]
-        if w.warp_in_block >= len(mine):
-            return
-        thread = mine[w.warp_in_block]
-        leader = w.lane == 0
-        for event in thread.events:
-            if event.kind in (EventKind.W, EventKind.WV):
-                yield w.st(addr[event.loc], event.value, mask=leader)
-            elif event.kind is EventKind.R:
-                yield w.ld(addr[event.loc], mask=leader)
-            elif event.kind is EventKind.OFENCE:
-                yield w.ofence()
-            elif event.kind is EventKind.DFENCE:
-                yield w.dfence()
-            elif event.kind is EventKind.PREL:
-                yield w.prel(addr[event.loc], event.value, event.scope)
-            elif event.kind is EventKind.PACQ:
-                while True:
-                    got = yield w.pacq(addr[event.loc], event.scope)
-                    if got != 0:
-                        break
-
-    system.launch(kernel, grid_blocks=len(blocks))
-    system.sync()
-
-    end = system.now
-    # Every instant where the durable image can change, plus an even
-    # sampling (the boundaries alone would miss nothing, but the spaced
-    # points keep the historical behavior for coarse sweeps).
-    times = set(system.gpu.subsystem.persist_log.boundary_times(end=end))
-    times.update(end * i / crash_points for i in range(crash_points + 1))
-    images: List[Dict[str, int]] = []
-    seen: Set[Tuple[Tuple[str, int], ...]] = set()
-    for t in sorted(times):
-        image = system.gpu.subsystem.crash_image(t)
-        named = {
-            loc: image.get(a, 0) for loc, a in addr.items() if loc.startswith("p")
-        }
-        key = tuple(sorted(named.items()))
-        if key not in seen:
-            seen.add(key)
-            images.append(named)
-    return images
+    return observation.image_dicts()
 
 
 def validate_against_model(

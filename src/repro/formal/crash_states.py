@@ -70,6 +70,26 @@ def allowed_crash_images(
     return [dict(image) for image in sorted(images)]
 
 
+def allowed_final_images(witness: ExecutionWitness) -> List[CrashImageT]:
+    """Every PM image the model allows once the machine has fully
+    drained: the durable set is *all* executed persists (including
+    PM-resident release flags), and only the per-location value choice
+    among pmo-maximal writes remains free.
+
+    The conformance checker compares the simulator's post-``sync()``
+    image against this set: an execution whose final image is missing a
+    persist (an acknowledged-but-never-written drain, say) is flagged
+    even though every *crash* image it produced was an allowed subset.
+    """
+    pmo = build_pmo(witness)
+    events: Dict[int, Event] = pmo.graph["events"]
+    executed = _executed_events(witness)
+    restricted = pmo.subgraph([n for n in pmo.nodes if n in executed]).copy()
+    subset = frozenset(restricted.nodes)
+    images = set(_value_choices(subset, restricted, events))
+    return [dict(image) for image in sorted(images)]
+
+
 def _executed_events(witness: ExecutionWitness) -> FrozenSet[int]:
     """Event ids that actually execute under this witness.
 

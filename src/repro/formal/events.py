@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.config import Scope
 from repro.common.errors import LitmusError
@@ -138,6 +138,59 @@ class LitmusProgram:
             if rel.loc is None:
                 raise LitmusError("release without a location")
         return self
+
+    def op_count(self) -> int:
+        """Total number of operations (the shrinker's size metric)."""
+        return sum(len(thread.events) for thread in self.threads)
+
+    # ------------------------------------------------------------------
+    # serialization (programs ride inside ScenarioJob specs)
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-JSON form; :meth:`from_json` rebuilds an equivalent
+        program (event ids are reassigned thread-by-thread, which leaves
+        every relation unchanged — ids are only internal names)."""
+        return {
+            "name": self.name,
+            "threads": [
+                {
+                    "block": thread.block,
+                    "events": [
+                        {
+                            "kind": event.kind.name,
+                            "loc": event.loc,
+                            "value": event.value,
+                            "scope": (
+                                event.scope.value
+                                if event.scope is not None
+                                else None
+                            ),
+                        }
+                        for event in thread.events
+                    ],
+                }
+                for thread in self.threads
+            ],
+        }
+
+    @staticmethod
+    def from_json(data: Dict[str, Any]) -> "LitmusProgram":
+        program = LitmusProgram(data.get("name", "litmus"))
+        for tdata in data["threads"]:
+            thread = program.thread(block=tdata["block"])
+            for edata in tdata["events"]:
+                scope = (
+                    Scope(edata["scope"])
+                    if edata.get("scope") is not None
+                    else None
+                )
+                thread._add(
+                    EventKind[edata["kind"]],
+                    loc=edata.get("loc"),
+                    value=edata.get("value", 0),
+                    scope=scope,
+                )
+        return program.validate()
 
 
 #: A synchronization witness: which release each acquire reads from.

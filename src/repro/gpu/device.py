@@ -61,6 +61,7 @@ class GPU:
         tracer: Optional[Tracer] = None,
         faults: Optional[Any] = None,
         watchdog_events: Optional[int] = None,
+        model_factory: Optional[Callable[..., Any]] = None,
     ) -> None:
         from repro.persistency import build_model  # local import: cycle guard
 
@@ -79,7 +80,12 @@ class GPU:
             config.memory, config.gpu, self.backing, self.stats, self.tracer,
             faults=faults,
         )
-        self.model = build_model(config, self.stats)
+        # model_factory overrides the registered model class — the
+        # conformance checker's mutation-teeth hook (repro.check.mutants).
+        if model_factory is not None:
+            self.model = model_factory(config, self.stats)
+        else:
+            self.model = build_model(config, self.stats)
         from repro.gpu.sm import SM  # local import: cycle guard
 
         self.sms = [SM(i, self) for i in range(config.gpu.num_sms)]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Mapping
 
 from repro.common.config import Scope
+from repro.memory.address_space import is_pm_addr
 from repro.memory.cache import CacheLine
 from repro.persistency.base import Outcome, PersistencyModel
 
@@ -129,8 +130,23 @@ class EpochModel(PersistencyModel):
         done = self._barrier(sm, now)
         # The flag becomes visible only once every prior persist is
         # durable — the unbuffered release pattern.
-        sm.engine.schedule(done, lambda _t: self.publish_flag(sm, addr, value))
+        sm.engine.schedule(done, lambda t: self._publish(sm, addr, value, t))
         return Outcome.complete(done)
+
+    def _publish(self, sm: "SM", addr: int, value: int, now: float) -> None:
+        self.publish_flag(sm, addr, value)
+        if is_pm_addr(addr):
+            # A PM-resident release variable is itself a persist; the
+            # barrier already waited for every prior persist's ack, so
+            # writing it now keeps it ordered after them.  Tracked like
+            # any flush so later barriers and the kernel-end drain wait
+            # for its acceptance.
+            line_addr = addr - addr % sm.line_size
+            ack = sm.subsystem.persist_line(
+                now, sm.sm_id, line_addr, {addr: value}
+            )
+            self._track(sm, ack.ack_time)
+            self.stats.add("epoch.flag_persists")
 
     # ------------------------------------------------------------------
     # evictions: plain write-back, unordered within the epoch

@@ -231,9 +231,15 @@ class SBRPModel(PersistencyModel):
         st.note_order_point(warp.slot, entry)
         if scope is Scope.BLOCK:
             # Buffered release: the FIFO + FSM enforce the durability
-            # order, so the flag publishes immediately and the warp
-            # never leaves the SM — the key scope win.
-            self._publish(sm, addr, value, now)
+            # order, so the flag publishes (becomes visible) immediately
+            # and the warp never leaves the SM — the key scope win.  A
+            # PM-resident flag is itself a persist ordered after the
+            # warp's earlier persists, and WPQ acceptance order is not
+            # global across partitions, so its NVM write is deferred to
+            # the entry's FIFO retirement (see _order_point_at_head) —
+            # persisting here could make the flag durable before
+            # po-earlier persists stuck behind a full WPQ.
+            self.publish_flag(sm, addr, value)
             self.stats.add("sbrp.prel_block")
             self._schedule_pump(sm)
             return Outcome.complete(now + 2)
@@ -247,9 +253,23 @@ class SBRPModel(PersistencyModel):
     def _publish(self, sm: "SM", addr: int, value: int, now: float) -> None:
         self.publish_flag(sm, addr, value)
         if is_pm_addr(addr):
-            # A PM-resident release variable is itself a persist.
-            line_addr = addr - addr % sm.line_size
-            sm.subsystem.persist_line(now, sm.sm_id, line_addr, {addr: value})
+            self._persist_flag(sm, addr, value, now)
+
+    def _persist_flag(self, sm: "SM", addr: int, value: int, now: float) -> None:
+        """Write a PM-resident release flag to the persistence domain.
+
+        The flag is a persist in its own right, so it is tracked like any
+        drained line: the ACTR covers it and the kernel-end drain waits
+        for its acceptance — otherwise a crash right after sync() could
+        miss the flag the program just released.
+        """
+        st = self.states[sm.sm_id]
+        line_addr = addr - addr % sm.line_size
+        ack = sm.subsystem.persist_line(now, sm.sm_id, line_addr, {addr: value})
+        st.add_inflight(ack.ack_time)
+        st.sends_pending += 1
+        self._schedule_ack(sm, st, ack.accept_time, ack.ack_time, [])
+        self.stats.add("sbrp.flag_persists")
 
     # ==================================================================
     # eviction
@@ -365,7 +385,19 @@ class SBRPModel(PersistencyModel):
             # A release does NOT order the releasing warp's own later
             # persists (only the acquirer's, via its pAcq entry), so no
             # FSM bit: this is what keeps per-round release chains from
-            # serializing the whole drain.
+            # serializing the whole drain.  A PM-resident flag is itself
+            # a persist ordered after the warp's earlier persists: its
+            # NVM write waits for those to be *accepted* (ACTR zero) —
+            # FIFO retirement alone is not enough, because acceptance
+            # order across WPQ partitions is not global.
+            if entry.flag_addr is not None and is_pm_addr(entry.flag_addr):
+                addr, value = entry.flag_addr, entry.flag_value
+                st.actr_zero_actions.append(
+                    ActrZeroAction(
+                        warp=None,
+                        effect=lambda t: self._persist_flag(sm, addr, value, t),
+                    )
+                )
             return
         st.fsm.or_with(mask)
         # Device-scope pRel or dFence: ODM -> EDM handoff; the warp

@@ -49,6 +49,7 @@ class GPUSystem:
         trace: "Tracer | TraceConfig | bool | None" = None,
         faults: Optional[Any] = None,
         watchdog_events: Optional[int] = None,
+        model_factory: Optional[Any] = None,
     ) -> None:
         self.config = config.validate()
         self.stats = StatsRegistry()
@@ -65,6 +66,7 @@ class GPUSystem:
             tracer=self.tracer,
             faults=faults,
             watchdog_events=watchdog_events,
+            model_factory=model_factory,
         )
         self.kernel_results: List[KernelResult] = []
         if pm_image is not None:

@@ -1,0 +1,60 @@
+"""The litmus fuzzer: determinism, validity, and shape bounds."""
+
+from repro.check.corpus import corpus_programs
+from repro.check.fuzzer import generate_program, generate_stream
+from repro.formal.events import EventKind
+
+
+def test_same_seed_same_program():
+    a = generate_program(7, 3)
+    b = generate_program(7, 3)
+    assert a.to_json() == b.to_json()
+
+
+def test_different_indices_differ():
+    stream = generate_stream(7, 20)
+    shapes = {tuple(tuple(e.kind for e in t.events) for t in p.threads)
+              for p in stream}
+    assert len(shapes) > 1
+
+
+def test_every_program_has_a_persist():
+    for program in generate_stream(11, 50):
+        kinds = [e.kind for t in program.threads for e in t.events]
+        assert EventKind.W in kinds
+        assert any(
+            e.kind is EventKind.W and e.is_persist
+            for t in program.threads
+            for e in t.events
+        )
+
+
+def test_programs_round_trip_through_json():
+    from repro.formal.events import LitmusProgram
+
+    for program in generate_stream(3, 10):
+        clone = LitmusProgram.from_json(program.to_json())
+        assert clone.to_json() == program.to_json()
+
+
+def test_acquires_only_pair_with_earlier_releases():
+    for program in generate_stream(5, 40):
+        releases = {}
+        for tid, thread in enumerate(program.threads):
+            for event in thread.events:
+                if event.kind is EventKind.PREL:
+                    releases.setdefault(event.loc, tid)
+        for tid, thread in enumerate(program.threads):
+            for event in thread.events:
+                if event.kind is EventKind.PACQ:
+                    assert event.loc in releases
+                    assert releases[event.loc] < tid
+
+
+def test_corpus_is_stable_and_valid():
+    first = [p.to_json() for p in corpus_programs()]
+    second = [p.to_json() for p in corpus_programs()]
+    assert first == second
+    assert len(first) >= 10
+    names = [p["name"] for p in first]
+    assert len(names) == len(set(names))

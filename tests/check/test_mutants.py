@@ -1,0 +1,86 @@
+"""Mutation teeth: shipped SBRP mutants must be caught and shrink small."""
+
+import pytest
+
+from repro.check.corpus import corpus_programs
+from repro.check.enumerator import variants_by_name
+from repro.check.mutants import MUTANTS, build_mutant, describe_mutants, mutant_names
+from repro.check.oracle import check_program
+from repro.check.shrink import regression_snippet, shrink_program
+from repro.common.config import ModelName
+from repro.common.errors import ConfigError
+from repro.persistency.sbrp.model import SBRPModel
+
+
+def mp_program():
+    return next(p for p in corpus_programs() if p.name == "mp_ofence_split")
+
+
+class TestRegistry:
+    def test_all_mutants_subclass_sbrp(self):
+        for cls in MUTANTS.values():
+            assert issubclass(cls, SBRPModel)
+
+    def test_build_mutant_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            build_mutant("no_such_mutant")
+
+    def test_names_and_blurbs(self):
+        assert mutant_names() == sorted(MUTANTS)
+        blurbs = describe_mutants()
+        assert set(blurbs) == set(MUTANTS)
+        assert all(blurbs.values())
+
+
+class TestCatch:
+    def test_ack_without_flush_caught_on_base_variant(self):
+        """Acks without writing NVM: the final-completeness check flags
+        it on every variant, so the cheapest one suffices."""
+        report = check_program(
+            mp_program(),
+            ModelName.SBRP,
+            variants_by_name(["base"]),
+            mutant="ack_without_flush",
+        )
+        assert report["violations"] > 0
+        types = {
+            v["type"]
+            for vr in report["variants"]
+            for v in vr["violations"]
+        }
+        assert "final" in types or "soundness" in types
+
+    def test_pb_lifo_drain_caught_under_window1(self):
+        report = check_program(
+            mp_program(),
+            ModelName.SBRP,
+            variants_by_name(["window1"]),
+            mutant="pb_lifo_drain",
+        )
+        assert report["violations"] > 0
+
+
+class TestShrink:
+    def test_shrunk_counterexample_is_small_and_still_fails(self):
+        variants = variants_by_name(["base"])
+
+        def still_fails(candidate):
+            report = check_program(
+                candidate, ModelName.SBRP, variants, mutant="ack_without_flush"
+            )
+            return report["violations"] > 0
+
+        program = mp_program()
+        assert still_fails(program)
+        shrunk = shrink_program(program, still_fails)
+        assert shrunk.op_count() <= program.op_count()
+        assert shrunk.op_count() <= 6
+        assert still_fails(shrunk)
+
+    def test_regression_snippet_is_executable_python(self):
+        snippet = regression_snippet(
+            mp_program(), "sbrp", "ack_without_flush", ["base"]
+        )
+        assert "def test_conformance_regression_ack_without_flush" in snippet
+        assert 'assert report["violations"] > 0' in snippet
+        compile(snippet, "<snippet>", "exec")

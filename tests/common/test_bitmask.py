@@ -60,3 +60,65 @@ def test_reset():
     a.reset()
     assert not a.any()
     assert a.count() == 0
+
+
+# ----------------------------------------------------------------------
+# Seeded round-trip properties
+# ----------------------------------------------------------------------
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+warp_sets = st.sets(st.integers(0, 31), max_size=10)
+
+
+@settings(max_examples=80, deadline=None)
+@given(warp_sets)
+def test_from_warps_warps_round_trip(warps):
+    assert set(WarpMask.from_warps(warps).warps()) == warps
+    assert WarpMask.from_warps(warps).count() == len(warps)
+
+
+@settings(max_examples=80, deadline=None)
+@given(warp_sets, st.integers(0, 31))
+def test_set_then_clear_round_trips(warps, extra):
+    mask = WarpMask.from_warps(warps)
+    before = mask.bits
+    was_set = mask.test(extra)
+    mask.set(extra)
+    assert mask.test(extra)
+    mask.clear(extra)
+    assert not mask.test(extra)
+    if not was_set:
+        assert mask.bits == before
+
+
+@settings(max_examples=80, deadline=None)
+@given(warp_sets, warp_sets)
+def test_merge_then_subtract_round_trips(a, b):
+    """or_with followed by clear_mask of the same mask removes exactly
+    the merged bits (set difference, not symmetric difference)."""
+    mask = WarpMask.from_warps(a)
+    other = WarpMask.from_warps(b)
+    mask.or_with(other)
+    assert set(mask.warps()) == a | b
+    mask.clear_mask(other)
+    assert set(mask.warps()) == a - b
+
+
+@settings(max_examples=80, deadline=None)
+@given(warp_sets)
+def test_bits_constructor_round_trips(warps):
+    mask = WarpMask.from_warps(warps)
+    rebuilt = WarpMask(mask.width, mask.bits)
+    assert rebuilt == mask
+    assert hash(rebuilt) == hash(mask)
+
+
+@settings(max_examples=80, deadline=None)
+@given(warp_sets, warp_sets)
+def test_copy_is_independent(a, b):
+    mask = WarpMask.from_warps(a)
+    dup = mask.copy()
+    dup.or_with(WarpMask.from_warps(b))
+    assert set(mask.warps()) == a
+    assert set(dup.warps()) == a | b

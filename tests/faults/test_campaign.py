@@ -13,6 +13,14 @@ def run_campaign(tmp_path, name, argv):
     return code, out.read_bytes(), json.loads(out.read_text())
 
 
+@pytest.fixture(scope="module")
+def smoke_report(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("campaign-sbrp")
+    return run_campaign(
+        tmp_path, "smoke-sbrp.json", ["--smoke", "--models", "sbrp"]
+    )
+
+
 class TestSmoke:
     @pytest.fixture(scope="class")
     def smoke(self, tmp_path_factory):
@@ -100,3 +108,51 @@ class TestRepro:
         assert main(["--list-plans"]) == 0
         out = capsys.readouterr().out
         assert "torn_persist" in out and "ack_loss" in out
+
+
+class TestCongestedTeeth:
+    """``missing_ofence`` is latent under an uncongested drain; the
+    campaign's congested cell must still flag it."""
+
+    def test_cell_capacity_gives_table_regions_odd_line_parity(self):
+        from repro.common.config import ModelName
+        from repro.faults.campaign import APP_PARAMS, congested_cells
+
+        [smoke] = congested_cells((ModelName.SBRP,), 12)
+        [full] = congested_cells(
+            (ModelName.SBRP,), 12, params=APP_PARAMS["gpkvs"]
+        )
+        for cell in (smoke, full):
+            assert cell.app_params["seeded_bug"] == "missing_ofence"
+            assert (4 * cell.app_params["capacity"] // 128) % 2 == 1
+            config = cell.job().config
+            assert config.memory.wpq_entries == 1
+            assert config.memory.nvm_bw_scale == 0.02
+
+    def test_congested_campaign_flags_missing_ofence(self, smoke_report):
+        _, _, report = smoke_report
+        row = next(
+            r for r in report["scenarios"] if "~congested" in r["name"]
+        )
+        assert row["app_params"]["seeded_bug"] == "missing_ofence"
+        assert row["outcome"] == "inconsistent"
+        assert row["matched"]
+        assert row["reproducer"] is not None
+
+    def test_bug_is_latent_without_congestion(self):
+        import dataclasses
+
+        from repro.common.config import ModelName
+        from repro.exec import Executor
+        from repro.faults.campaign import congested_cells
+        from repro.faults.plans import PowerCutPlan
+
+        [cell] = congested_cells((ModelName.SBRP,), 12)
+        latent = dataclasses.replace(
+            cell,
+            wpq_entries=None,
+            nvm_bw_scale=None,
+            plan=PowerCutPlan(),  # expectation back to consistent
+        )
+        result = Executor(workers=1).submit([latent.job()])[0]
+        assert result.stats["faults.inconsistent_points"] == 0

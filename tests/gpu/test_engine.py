@@ -174,3 +174,112 @@ class TestWatchdog:
         engine.reset()
         engine.schedule(5, lambda t: None)
         assert engine.run() == 5
+
+
+class TestBudgetBoundary:
+    def test_event_exactly_at_max_cycles_runs(self):
+        engine = Engine(max_cycles=100)
+        seen = []
+        engine.schedule(100, lambda t: seen.append(t))
+        assert engine.run() == 100
+        assert seen == [100]
+
+    def test_event_just_past_max_cycles_raises(self):
+        engine = Engine(max_cycles=100)
+        engine.schedule(100.0000001, lambda t: None)
+        with pytest.raises(SimulationError, match="cycle budget exceeded"):
+            engine.run()
+
+    def test_events_within_budget_run_before_the_raise(self):
+        engine = Engine(max_cycles=100)
+        seen = []
+        engine.schedule(99, lambda t: seen.append(t))
+        engine.schedule(101, lambda t: seen.append(t))
+        with pytest.raises(SimulationError):
+            engine.run()
+        assert seen == [99]
+        assert engine.now == 99
+
+
+class TestUntilWatchdogInterplay:
+    def test_until_checked_before_watchdog_counts(self):
+        """A satisfied predicate stops the run before the spinner can
+        accumulate enough idle events to trip the watchdog."""
+        engine = Engine(watchdog_events=10)
+        seen = []
+
+        def respawn(t):
+            seen.append(t)
+            engine.schedule(t + 1, respawn)
+
+        engine.schedule(0, respawn)
+        engine.run(until=lambda: len(seen) >= 5)
+        assert len(seen) == 5
+        assert engine.pending() == 1
+
+    def test_watchdog_fires_when_until_never_satisfied(self):
+        from repro.common.errors import LivelockError
+
+        engine = Engine(watchdog_events=10)
+
+        def respawn(t):
+            engine.schedule(t + 1, respawn)
+
+        engine.schedule(0, respawn)
+        with pytest.raises(LivelockError):
+            engine.run(until=lambda: False)
+
+    def test_resumed_run_keeps_idle_count(self):
+        """Stopping via until() does not reset the watchdog — idle
+        events accumulate across run() calls until note_progress()."""
+        from repro.common.errors import LivelockError
+
+        engine = Engine(watchdog_events=10)
+        count = [0]
+
+        def respawn(t):
+            count[0] += 1
+            engine.schedule(t + 1, respawn)
+
+        engine.schedule(0, respawn)
+        engine.run(until=lambda: count[0] >= 6)
+        with pytest.raises(LivelockError):
+            engine.run()
+        assert count[0] <= 11  # 6 before the pause + at most 5 after
+
+
+class TestReset:
+    def test_reset_restores_a_reusable_engine(self):
+        engine = Engine()
+        engine.schedule(5, lambda t: None)
+        engine.schedule(9, lambda t: None)
+        assert engine.run() == 9
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending() == 0
+        assert engine.events_processed == 0
+        seen = []
+        engine.schedule(3, lambda t: seen.append(t))
+        assert engine.run() == 3
+        assert seen == [3]
+
+    def test_reset_discards_pending_events(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1, lambda t: seen.append(1))
+        engine.schedule(2, lambda t: seen.append(2))
+        engine.run(until=lambda: bool(seen))
+        engine.reset()
+        assert engine.run() == 0.0
+        assert seen == [1]
+
+    def test_reset_restarts_fifo_tiebreak_sequence(self):
+        engine = Engine()
+        engine.schedule(1, lambda t: None)
+        engine.run()
+        engine.reset()
+        seen = []
+        engine.schedule(5, lambda t: seen.append("first"))
+        engine.schedule(5, lambda t: seen.append("second"))
+        engine.run()
+        assert seen == ["first", "second"]
