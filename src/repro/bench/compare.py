@@ -1,0 +1,125 @@
+"""Diff two ``BENCH_<n>.json`` files and flag throughput regressions.
+
+A case regresses when its new rate drops more than ``--tolerance``
+(default 25%) below the baseline.  Only cases present in both files are
+compared, so a ``--smoke`` run diffs cleanly against a full baseline.
+
+Command line::
+
+    python -m repro.bench.compare BENCH_1.json BENCH_2.json
+    python -m repro.bench.compare old.json new.json --tolerance 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Default allowed fractional drop of cycles/sec before failing.
+DEFAULT_TOLERANCE = 0.25
+
+
+def compare_benchmarks(
+    base: Mapping[str, Any],
+    new: Mapping[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    metric: str = "cycles_per_sec",
+) -> Dict[str, Any]:
+    """Compare two bench documents; pure function for tests and CI."""
+    base_cases = base.get("cases", {})
+    new_cases = new.get("cases", {})
+    common = sorted(set(base_cases) & set(new_cases))
+    rows: List[Dict[str, Any]] = []
+    regressions = 0
+    for name in common:
+        old_rate = float(base_cases[name].get(metric, 0.0))
+        new_rate = float(new_cases[name].get(metric, 0.0))
+        if old_rate > 0:
+            delta = new_rate / old_rate - 1.0
+        else:
+            delta = 0.0
+        regressed = old_rate > 0 and new_rate < old_rate * (1.0 - tolerance)
+        regressions += regressed
+        rows.append(
+            {
+                "case": name,
+                "base": old_rate,
+                "new": new_rate,
+                "delta": delta,
+                "regressed": regressed,
+            }
+        )
+    return {
+        "metric": metric,
+        "tolerance": tolerance,
+        "rows": rows,
+        "regressions": regressions,
+        "only_base": sorted(set(base_cases) - set(new_cases)),
+        "only_new": sorted(set(new_cases) - set(base_cases)),
+    }
+
+
+def render_comparison(result: Mapping[str, Any]) -> str:
+    lines = [
+        f"{'case':22s} {'base':>14s} {'new':>14s} {'delta':>8s}",
+    ]
+    for row in result["rows"]:
+        mark = "  REGRESSION" if row["regressed"] else ""
+        lines.append(
+            f"{row['case']:22s} {row['base']:>14.0f} {row['new']:>14.0f} "
+            f"{100 * row['delta']:>+7.1f}%{mark}"
+        )
+    for name in result["only_base"]:
+        lines.append(f"{name:22s} (only in baseline; skipped)")
+    for name in result["only_new"]:
+        lines.append(f"{name:22s} (only in new run; skipped)")
+    lines.append(
+        f"{result['regressions']} regression(s) on {result['metric']} at "
+        f"{100 * result['tolerance']:.0f}% tolerance over "
+        f"{len(result['rows'])} common case(s)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Flag throughput regressions between two BENCH files.",
+    )
+    parser.add_argument("base", help="baseline BENCH_<n>.json")
+    parser.add_argument("new", help="new BENCH_<n>.json to judge")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional rate drop (default: 0.25)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="cycles_per_sec",
+        choices=["cycles_per_sec", "events_per_sec"],
+        help="rate to compare (default: cycles_per_sec)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        base = load_bench(args.base)
+        new = load_bench(args.new)
+    except (OSError, json.JSONDecodeError) as exc:
+        parser.error(f"cannot load bench file: {exc}")
+    result = compare_benchmarks(
+        base, new, tolerance=args.tolerance, metric=args.metric
+    )
+    print(render_comparison(result), end="")
+    if not result["rows"]:
+        print("no common cases to compare", flush=True)
+    return 1 if result["regressions"] else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

@@ -32,6 +32,9 @@ class ScenarioResult:
     #: Mode-specific structured payload (the fault campaign stores its
     #: per-crash-point classification here).  Must be plain JSON.
     detail: Optional[Dict[str, Any]] = None
+    #: Unified metrics snapshot (``GPUSystem.metrics_snapshot()``) when
+    #: the scenario ran with live metrics enabled; None otherwise.
+    metrics: Optional[Dict[str, Any]] = None
 
     def stat(self, name: str, default: float = 0.0) -> float:
         return self.stats.get(name, default)
@@ -45,6 +48,7 @@ class ScenarioResult:
             "stats": dict(self.stats),
             "profile": self.profile,
             "detail": self.detail,
+            "metrics": self.metrics,
         }
 
     @staticmethod
@@ -56,6 +60,7 @@ class ScenarioResult:
             stats={k: float(v) for k, v in data["stats"].items()},
             profile=data.get("profile"),
             detail=data.get("detail"),
+            metrics=data.get("metrics"),
         )
 
 
@@ -115,6 +120,7 @@ def run_scenario(
     trace: bool = False,
     trace_dir: Optional[str] = None,
     trace_tag: Optional[str] = None,
+    metrics: bool = False,
 ) -> ScenarioResult:
     """Run one app to completion under *config* and collect metrics.
 
@@ -123,10 +129,12 @@ def run_scenario(
     writes ``{stem}.trace.json`` (Chrome/Perfetto) and
     ``{stem}.counters.csv`` into that directory, with the stem from
     :func:`scenario_stem`; *trace_tag* adds a human-readable marker for
-    sweep points that share a config label.
+    sweep points that share a config label.  ``metrics=True`` enables
+    the live :class:`~repro.metrics.registry.MetricsRegistry` and
+    attaches its unified snapshot to the result.
     """
     traced = trace or trace_dir is not None
-    system = GPUSystem(config, trace=traced)
+    system = GPUSystem(config, trace=traced, metrics=metrics)
     app = build_app(app_name, **(app_params or {}))
     app.setup(system)
     outcome = app.run(system)
@@ -150,4 +158,5 @@ def run_scenario(
         cycles=outcome.cycles,
         stats=system.stats.snapshot(),
         profile=profile,
+        metrics=system.metrics_snapshot() if metrics else None,
     )

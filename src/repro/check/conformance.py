@@ -305,6 +305,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         sys.stdout.write(text)
     if not args.quiet:
+        print(executor.footer(), file=sys.stderr)
         summary = report["summary"]
         print(
             f"stock violations: {summary['stock_violations']}; mutants "

@@ -9,7 +9,7 @@ these counters; tests assert on them to pin down model behaviour.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, Mapping, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 
 class StatsRegistry:
@@ -68,3 +68,21 @@ class StatsRegistry:
 
     def __repr__(self) -> str:
         return f"StatsRegistry({len(self._counters)} counters)"
+
+
+def histogram_summary(
+    values: Iterable[float], bounds: Optional[Sequence[float]] = None
+) -> Dict[str, float]:
+    """p50/p95/p99 digest of raw observations.
+
+    Routes through the shared
+    :class:`~repro.metrics.registry.MetricHistogram` so every percentile
+    reported anywhere in the repo (stats post-processing, live metrics,
+    exported snapshots) uses one bucketing and interpolation scheme.
+    """
+    from repro.metrics.registry import MetricHistogram
+
+    hist = MetricHistogram(bounds)
+    for value in values:
+        hist.observe(float(value))
+    return hist.summary()

@@ -25,11 +25,13 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Unio
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import ScenarioJob
 from repro.exec.pool import (
+    STATUS_ERROR,
     STATUS_OK,
     JobOutcome,
     PoolEvent,
     WorkerPool,
 )
+from repro.metrics.registry import NULL_METRICS, MetricsRegistry
 from repro.trace.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -56,6 +58,26 @@ def execute_job_payload(payload: dict) -> dict:
     start method.
     """
     return ScenarioJob.from_json(payload).execute().to_json()
+
+
+def error_class(outcome: JobOutcome) -> Optional[str]:
+    """Original exception class name from a failed outcome's traceback.
+
+    Worker tracebacks end in ``"pkg.mod.SomeError: detail"``; the bare
+    class name is what belongs in a metric key.  Non-error statuses
+    (timeout, crashed) carry prose, not tracebacks — they return None.
+    """
+    if outcome.status != STATUS_ERROR or not outcome.error:
+        return None
+    for line in reversed(outcome.error.strip().splitlines()):
+        line = line.strip()
+        if not line or line.startswith(("File ", "Traceback")):
+            continue
+        qualified = line.split(":", 1)[0].strip()
+        if not qualified or " " in qualified:
+            continue
+        return qualified.rpartition(".")[2]
+    return None
 
 
 @dataclass
@@ -97,6 +119,7 @@ class Executor:
         backoff: float = 0.5,
         progress: Optional[Callable[[PoolEvent], None]] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -107,6 +130,7 @@ class Executor:
         self.backoff = backoff
         self.progress = progress
         self.tracer = tracer
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.stats = ExecStats()
         self.failures: List[JobFailedError] = []
         self._memo: Dict[str, "ScenarioResult"] = {}
@@ -151,27 +175,34 @@ class Executor:
 
         jobs = list(jobs)
         self.stats.submitted += len(jobs)
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.inc("exec.submitted", len(jobs))
         keys = [job.key for job in jobs]
 
         # Resolve memo and cache hits; collect unique misses in order.
         misses: List[int] = []  # index of first occurrence per unique key
         seen_this_call: Dict[str, int] = {}
+        metered = metrics.enabled
         for i, (job, key) in enumerate(zip(jobs, keys)):
-            if key in self._memo:
+            if key in self._memo or key in seen_this_call:
                 self.stats.memo_hits += 1
-                continue
-            if key in seen_this_call:
-                self.stats.memo_hits += 1
+                if metered:
+                    metrics.inc("exec.memo_hits")
                 continue
             if self.cache is not None and job.cacheable:
                 cached = self.cache.get(job)
                 if cached is not None:
                     self._memo[key] = cached
                     self.stats.cache_hits += 1
+                    if metered:
+                        metrics.inc("exec.cache_hits")
                     continue
             seen_this_call[key] = i
             misses.append(i)
         self.stats.unique += len(misses)
+        if metered:
+            metrics.inc("exec.unique", len(misses))
 
         # Execute the misses.
         outcomes: Dict[int, JobOutcome] = {}
@@ -183,14 +214,30 @@ class Executor:
 
         for i, outcome in outcomes.items():
             job = jobs[i]
+            if metered:
+                # Derived from the JobOutcome, which both backends
+                # produce identically for clean runs — snapshots stay
+                # byte-identical across worker counts.  Retries only
+                # happen on crash/timeout, so exec.retries stays absent
+                # from healthy snapshots too.
+                metrics.inc(f"exec.outcome.{outcome.status}")
+                if outcome.attempts > 1:
+                    metrics.inc("exec.retries", outcome.attempts - 1)
+                cls = error_class(outcome)
+                if cls is not None:
+                    metrics.inc(f"exec.error.{cls}")
             if outcome.ok:
                 result = ScenarioResult.from_json(outcome.value)
                 self._memo[keys[i]] = result
                 self.stats.executed += 1
+                if metered:
+                    metrics.inc("exec.executed")
                 if self.cache is not None and job.cacheable:
                     self.cache.put(job, result)
             else:
                 self.stats.failed += 1
+                if metered:
+                    metrics.inc("exec.failed")
                 failure = JobFailedError(job, outcome)
                 self.failures.append(failure)
                 if not allow_failures:
@@ -203,6 +250,11 @@ class Executor:
         result = self.submit([job])[0]
         assert result is not None
         return result
+
+    def footer(self) -> str:
+        """One-line end-of-run summary for CLI drivers."""
+        wall = time.monotonic() - self._t0
+        return f"[exec] {self.stats.summary()} in {wall:.1f}s wall"
 
     # ------------------------------------------------------------------
     # execution backends
@@ -256,6 +308,7 @@ class Executor:
             retries=self.retries,
             backoff=self.backoff,
             progress=self._emit,
+            metrics=self.metrics,
         )
         pool_outcomes = pool.run(
             [job.to_json() for job in jobs],

@@ -88,6 +88,12 @@ class ScenarioJob:
     #: target model / mutant, see :mod:`repro.check.runner`); required
     #: for — and only valid in — :data:`MODE_CHECK`.
     check: Optional[Mapping[str, Any]] = None
+    #: Run the scenario with the live metrics registry enabled and
+    #: attach the unified snapshot to the result.  Metrics runs are
+    #: cycle-identical to plain runs, but the flag still feeds the spec
+    #: (only when set, preserving pre-existing hashes) because the
+    #: result payload differs.
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -124,6 +130,8 @@ class ScenarioJob:
             spec["fault"] = dict(self.fault)
         if self.check is not None:
             spec["check"] = dict(self.check)
+        if self.metrics:
+            spec["metrics"] = True
         return spec
 
     @property
@@ -169,6 +177,7 @@ class ScenarioJob:
             "trace_tag": self.trace_tag,
             "fault": dict(self.fault) if self.fault is not None else None,
             "check": dict(self.check) if self.check is not None else None,
+            "metrics": self.metrics,
         }
 
     @staticmethod
@@ -184,6 +193,7 @@ class ScenarioJob:
             trace_tag=data.get("trace_tag"),
             fault=data.get("fault"),
             check=data.get("check"),
+            metrics=data.get("metrics", False),
         )
 
     # ------------------------------------------------------------------
@@ -212,6 +222,7 @@ class ScenarioJob:
             trace=self.trace,
             trace_dir=self.trace_dir,
             trace_tag=self.trace_tag,
+            metrics=self.metrics,
         )
 
     def _execute_recovery(self) -> "ScenarioResult":

@@ -25,6 +25,8 @@ from multiprocessing import get_context
 from multiprocessing.connection import wait as conn_wait
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.metrics.registry import NULL_METRICS, MetricsRegistry
+
 #: Poll interval of the scheduler loop (seconds).
 _POLL_S = 0.02
 
@@ -106,6 +108,7 @@ class WorkerPool:
         backoff: float = 0.5,
         retry_errors: bool = False,
         progress: Optional[Progress] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -115,6 +118,7 @@ class WorkerPool:
         self.backoff = backoff
         self.retry_errors = retry_errors
         self.progress = progress
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         # fork keeps arbitrary runner callables usable and is the fast
         # path on Linux; elsewhere fall back to spawn (runner must then
         # be an importable top-level function).
@@ -169,6 +173,12 @@ class WorkerPool:
                         ready_at=time.monotonic() + delay,
                     )
                 )
+                # Pool-only metrics cover abnormal events exclusively:
+                # clean runs emit none, so serial and pooled snapshots
+                # stay byte-identical.
+                if self.metrics.enabled:
+                    self.metrics.inc("exec.pool.retry")
+                    self.metrics.inc(f"exec.pool.retry_status.{status}")
                 emit("retry", state.index, state.attempt, status)
                 return
             outcomes[state.index] = JobOutcome(

@@ -194,7 +194,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             fh.write(body)
 
     stats = executor.stats
-    print(f"sweep finished in {elapsed:.1f}s: {stats.summary()}", file=sys.stderr)
+    print(f"sweep finished in {elapsed:.1f}s", file=sys.stderr)
+    print(executor.footer(), file=sys.stderr)
     if cache is not None:
         print(
             f"cache: {len(cache)} entries at {cache.root}", file=sys.stderr

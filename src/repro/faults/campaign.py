@@ -562,6 +562,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         print(text, end="")
 
+    print(executor.footer(), file=sys.stderr)
     summary = report["summary"]
     print(
         f"{preset}: {summary['scenarios']} scenarios + "

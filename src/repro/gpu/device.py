@@ -23,6 +23,7 @@ from repro.memory.backing import BackingStore
 from repro.memory.subsystem import MemorySubsystem
 from repro.gpu.engine import Engine
 from repro.gpu.warp import Warp, WarpCtx, WarpState
+from repro.metrics.registry import NULL_METRICS, MetricsRegistry
 from repro.trace.tracer import NULL_TRACER, Tracer
 
 KernelFn = Callable[..., Any]
@@ -62,6 +63,7 @@ class GPU:
         faults: Optional[Any] = None,
         watchdog_events: Optional[int] = None,
         model_factory: Optional[Callable[..., Any]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         from repro.persistency import build_model  # local import: cycle guard
 
@@ -70,15 +72,17 @@ class GPU:
         self.stats = stats if stats is not None else StatsRegistry()
         self.backing = backing if backing is not None else BackingStore()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.engine = Engine(
             max_cycles=max_cycles,
             stats=self.stats,
             watchdog_events=watchdog_events,
+            metrics=self.metrics,
         )
         self.engine.watchdog_diagnostics = self._watchdog_diagnostics
         self.subsystem = MemorySubsystem(
             config.memory, config.gpu, self.backing, self.stats, self.tracer,
-            faults=faults,
+            faults=faults, metrics=self.metrics,
         )
         # model_factory overrides the registered model class — the
         # conformance checker's mutation-teeth hook (repro.check.mutants).

@@ -21,8 +21,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import LivelockError, SimulationError
 from repro.common.stats import StatsRegistry
+from repro.metrics.registry import NULL_METRICS, MetricsRegistry
 
 EventFn = Callable[[float], None]
+
+#: Queue-depth sampling stride with metrics enabled: one histogram
+#: observation every this-many events keeps the cost invisible while the
+#: sample set stays a deterministic function of the event sequence.
+_QUEUE_SAMPLE_MASK = 4095
 
 #: Default watchdog bound: events processed without a single progress
 #: signal before the run is declared livelocked.  Generous — real
@@ -39,10 +45,12 @@ class Engine:
         max_cycles: float = 2e9,
         stats: Optional[StatsRegistry] = None,
         watchdog_events: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.now: float = 0.0
         self.max_cycles = max_cycles
         self.stats = stats
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: Events without progress before :class:`LivelockError`;
         #: ``0`` disables the watchdog.
         self.watchdog_events = (
@@ -87,6 +95,8 @@ class Engine:
         progress, both of which almost always indicate a livelocked spin
         loop in a kernel (or an injected fault that wedged the machine).
         """
+        metrics = self.metrics
+        metered = metrics.enabled
         while self._queue:
             if until is not None and until():
                 break
@@ -103,10 +113,15 @@ class Engine:
                 self._idle_events += 1
                 if self._idle_events > self.watchdog_events:
                     raise self._livelock()
+            if metered and not self.events_processed & _QUEUE_SAMPLE_MASK:
+                metrics.observe("engine.queue_depth", float(len(self._queue)))
             fn(self.now)
         if self.stats is not None:
             self.stats.set("engine.events_processed", float(self.events_processed))
             self.stats.set("engine.now", self.now)
+        if metered:
+            metrics.gauge("engine.events_processed", float(self.events_processed))
+            metrics.gauge("engine.now", self.now)
         return self.now
 
     def pending(self) -> int:

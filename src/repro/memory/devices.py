@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Deque, Optional
 
 from repro.common.stats import StatsRegistry
+from repro.metrics.registry import NULL_METRICS, MetricsRegistry
 from repro.trace.tracer import NULL_TRACER, Tracer
 
 
@@ -91,9 +92,11 @@ class NVMController:
         wpq_entries: int,
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.name = name
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.read_channel = BandwidthChannel(
             f"{name}.read", latency, read_bytes_per_cycle, stats, self.tracer
         )
@@ -122,6 +125,9 @@ class NVMController:
         if len(self._wpq) >= self.wpq_entries:
             accept = self._wpq[len(self._wpq) - self.wpq_entries]
             self.stats.add(f"{self.name}.wpq_stall_cycles", accept - now)
+            if self.metrics.enabled:
+                self.metrics.inc("nvm.wpq_stalls")
+                self.metrics.observe("nvm.wpq_stall_cycles", accept - now)
         else:
             accept = now
         drain = nbytes / self.write_bytes_per_cycle
@@ -130,6 +136,8 @@ class NVMController:
         self._wpq.append(drain_end)
         self.stats.add(f"{self.name}.bytes_written", nbytes)
         self.stats.add(f"{self.name}.writes")
+        if self.metrics.enabled:
+            self.metrics.observe("nvm.wpq_depth", float(len(self._wpq)))
         if self.tracer.enabled:
             self.tracer.span(self.name, "write", accept, drain_end)
             self.tracer.counter(self.name, "wpq", now, float(len(self._wpq)))

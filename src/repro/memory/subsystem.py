@@ -12,6 +12,7 @@ instant yields a well-defined durable PM image.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
@@ -21,6 +22,7 @@ from repro.common.units import gbps_to_bytes_per_cycle
 from repro.memory.backing import BackingStore
 from repro.memory.cache import TagCache
 from repro.memory.devices import BandwidthChannel, NVMController, WriteAck
+from repro.metrics.registry import NULL_METRICS, MetricsRegistry
 from repro.trace.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -88,6 +90,7 @@ class MemorySubsystem:
         stats: StatsRegistry,
         tracer: Tracer = NULL_TRACER,
         faults: "Optional[FaultInjector]" = None,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self.config = memory
         self.gpu = gpu
@@ -95,6 +98,7 @@ class MemorySubsystem:
         self.stats = stats
         self.tracer = tracer
         self.faults = faults
+        self.metrics = metrics
         self.line_size = gpu.line_size
         self.l2 = TagCache("l2", gpu.l2_size, gpu.line_size, stats=stats)
 
@@ -120,6 +124,7 @@ class MemorySubsystem:
                 memory.wpq_entries,
                 stats,
                 tracer,
+                metrics,
             )
             for i in range(parts)
         ]
@@ -240,6 +245,11 @@ class MemorySubsystem:
         )
         self.stats.add("persist.lines")
         self.stats.add("persist.bytes", nbytes)
+        if self.metrics.enabled:
+            self.metrics.inc("persist.lines")
+            self.metrics.observe("persist.accept_latency", accept - now)
+            if math.isfinite(ack):
+                self.metrics.observe("persist.ack_latency", ack - accept)
         return WriteAck(accept_time=accept, ack_time=ack)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,29 @@
+"""Near-zero-overhead host metrics: counters, gauges, histograms.
+
+See :mod:`repro.metrics.registry` for the observer-discipline contract
+(metrics-enabled runs are cycle-identical to disabled ones) and
+:mod:`repro.metrics.export` for the sorted-key JSON and Prometheus
+exporters.
+"""
+
+from repro.metrics.export import (
+    build_snapshot,
+    prometheus_text,
+    snapshot_json,
+)
+from repro.metrics.registry import (
+    DEFAULT_BOUNDS,
+    NULL_METRICS,
+    MetricHistogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "MetricHistogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "build_snapshot",
+    "prometheus_text",
+    "snapshot_json",
+]

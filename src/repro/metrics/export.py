@@ -1,0 +1,111 @@
+"""Snapshot exporters: sorted-key JSON and Prometheus text exposition.
+
+The JSON snapshot is the *one* export path for host observability: it
+merges the engine's :class:`~repro.common.stats.StatsRegistry` counters
+with the :class:`~repro.metrics.registry.MetricsRegistry` instruments,
+so callers never have to consult two stores (the unification the stats
+registry predates).  Every mapping is emitted with sorted keys and
+deterministic values, so two runs that agree on the simulated execution
+produce byte-identical exports regardless of worker count — CI diffs
+them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.common.stats import StatsRegistry
+from repro.metrics.registry import MetricsRegistry
+
+
+def build_snapshot(
+    metrics: MetricsRegistry,
+    stats: Optional[StatsRegistry] = None,
+) -> Dict[str, Any]:
+    """One plain-JSON dict of everything observed.
+
+    ``counters`` holds the stats-registry counters overlaid with the
+    metrics counters (metrics win on a name collision — they are the
+    newer, richer store); ``gauges`` and ``histograms`` come from the
+    metrics registry alone.  Histograms export their scalar summary
+    (count/sum/min/max/mean/p50/p95/p99), not raw buckets: the digest is
+    what dashboards and regression gates consume.
+    """
+    counters: Dict[str, float] = dict(stats.snapshot()) if stats is not None else {}
+    counters.update(metrics.counters())
+    return {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": dict(sorted(metrics.gauges().items())),
+        "histograms": {
+            name: hist.summary()
+            for name, hist in sorted(metrics.histograms().items())
+        },
+    }
+
+
+def snapshot_json(
+    metrics: MetricsRegistry,
+    stats: Optional[StatsRegistry] = None,
+    indent: Optional[int] = 2,
+) -> str:
+    """The snapshot as a sorted-key JSON document (trailing newline)."""
+    return (
+        json.dumps(build_snapshot(metrics, stats), indent=indent, sort_keys=True)
+        + "\n"
+    )
+
+
+def _prom_name(name: str) -> str:
+    """A dotted metric name as a Prometheus-legal identifier."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(
+    metrics: MetricsRegistry,
+    stats: Optional[StatsRegistry] = None,
+) -> str:
+    """Prometheus text exposition format of the full snapshot.
+
+    Counters gain the conventional ``_total`` suffix; histograms emit
+    cumulative ``_bucket{le="..."}`` series plus ``_sum`` and
+    ``_count``.  Families are emitted in sorted name order.
+    """
+    lines: List[str] = []
+    counters: Dict[str, float] = dict(stats.snapshot()) if stats is not None else {}
+    counters.update(metrics.counters())
+    for name in sorted(counters):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom}_total counter")
+        lines.append(f"{prom}_total {_prom_value(counters[name])}")
+    gauges = metrics.gauges()
+    for name in sorted(gauges):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(gauges[name])}")
+    for name, hist in sorted(metrics.histograms().items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        for bound, cumulative in hist.bucket_counts():
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{prom}_sum {_prom_value(hist.sum if hist.count else 0.0)}")
+        lines.append(f"{prom}_count {hist.count}")
+    return "\n".join(lines) + "\n"

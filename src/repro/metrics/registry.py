@@ -1,0 +1,215 @@
+"""The host-side metrics registry.
+
+One :class:`MetricsRegistry` instance is shared by every component of a
+:class:`~repro.system.GPUSystem` (and by the execution layer's
+:class:`~repro.exec.executor.Executor`).  Like the tracer it is a pure
+*observer*: no method touches the event queue, the stats registry, or
+any timing state, so a metrics-enabled run is cycle-identical to a
+metrics-disabled one (a test pins this).
+
+Disabled metrics are the default and cost one attribute load per call
+site (``if metrics.enabled:`` guards every emission); the module-level
+:data:`NULL_METRICS` is the shared disabled instance — the same
+zero-overhead discipline the tracer established.
+
+Three instrument families:
+
+* **counters** — monotonically increasing event counts (persist flushes,
+  worker retries, cache hits);
+* **gauges** — last-observed values (engine event totals, final
+  simulated time);
+* **histograms** — distributions over *deterministic* bucket bounds
+  (PB occupancy, WPQ depth, persist accept/ack latency), with
+  p50/p95/p99 estimation by linear interpolation inside the bucket.
+
+Everything recorded must be a deterministic function of the simulated
+execution (or of the job set, for the exec layer): snapshots are
+byte-identical across worker counts, which CI relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds: powers of two spanning the
+#: quantities the simulator observes (occupancies of a few entries up to
+#: multi-million-cycle latencies), plus a catch-all +inf bucket.  Fixed
+#: bounds keep merged snapshots well-defined and byte-stable.
+DEFAULT_BOUNDS: Tuple[float, ...] = tuple(
+    float(2**exp) for exp in range(0, 25)
+) + (float("inf"),)
+
+
+class MetricHistogram:
+    """Fixed-bucket histogram with exact count/sum/min/max.
+
+    Bucket bounds are upper edges (Prometheus ``le`` convention).  The
+    exact extrema let :meth:`percentile` clamp its interpolation to the
+    observed range, so a single-valued histogram reports that value at
+    every percentile.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        self.bounds: Tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        )
+        if not self.bounds or self.bounds[-1] != float("inf"):
+            raise ValueError("histogram bounds must end with +inf")
+        self.counts: List[int] = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation between bucket edges, clamped to the exact
+        observed [min, max] so estimates never exceed real extrema.
+        Deterministic: a pure function of the recorded counts.
+        """
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            before = cumulative
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                lo = max(lower, self.min)
+                hi = min(bound, self.max)
+                if hi <= lo:
+                    return lo
+                fraction = (target - before) / bucket_count
+                return lo + fraction * (hi - lo)
+            lower = bound
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        """Deterministic scalar digest (what the JSON snapshot exports)."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative (le, count) pairs — the Prometheus exposition."""
+        pairs: List[Tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            pairs.append((bound, cumulative))
+        return pairs
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms under dotted names."""
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_hists")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._hists: Dict[str, MetricHistogram] = {}
+
+    # ------------------------------------------------------------------
+    # instruments
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter *name* (creating it at zero)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to its latest observation."""
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into histogram *name* (default bounds)."""
+        if not self.enabled:
+            return
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = MetricHistogram()
+        hist.observe(value)
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> MetricHistogram:
+        """The named histogram, created with *bounds* on first use.
+
+        Unlike the emission methods this works on a disabled registry
+        too (it only builds the container), so call sites that cache the
+        instrument can still guard emission with ``enabled``.
+        """
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = MetricHistogram(bounds)
+        return hist
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, default: float = 0.0) -> float:
+        return self._counters.get(name, default)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, MetricHistogram]:
+        return dict(self._hists)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._hists)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._hists.clear()
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"MetricsRegistry({state}, {len(self)} instruments)"
+
+
+#: Shared disabled registry: the default for every unmetered system.  It
+#: is never mutated (every emitting method bails on ``enabled``), so one
+#: instance safely serves all systems — mirroring ``NULL_TRACER``.
+NULL_METRICS = MetricsRegistry(enabled=False)

@@ -150,6 +150,8 @@ class PersistencyModel(abc.ABC):
                 ack_time=now + self.config.gpu.l2_latency,
             )
         ack = sm.subsystem.persist_line(now, sm.sm_id, line.tag, words)
+        if sm.metrics.enabled:
+            sm.metrics.inc("persist.flushes")
         if sm.tracer.enabled:
             # Lifecycle: drain issued now; durable at acceptance; the
             # SM learns (ACTR decrement) at the ack.

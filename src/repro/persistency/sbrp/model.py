@@ -124,6 +124,8 @@ class SBRPModel(PersistencyModel):
         line.is_pm = True
         line.write_words(words)
         self.stats.add("sbrp.persist_entries")
+        if sm.metrics.enabled:
+            sm.metrics.observe("sbrp.pb_occupancy", float(st.pb.live_count()))
         if sm.tracer.enabled:
             sm.tracer.persist_store(sm.sm_id, line_addr, now)
             self._trace_pb(sm, st, now)
@@ -445,6 +447,8 @@ class SBRPModel(PersistencyModel):
         st.sends_pending += 1
         self._schedule_ack(sm, st, ack.accept_time, ack.ack_time, entry.waiters)
         self.stats.add("sbrp.drained_persists")
+        if sm.metrics.enabled:
+            sm.metrics.inc("sbrp.drained_persists")
 
     def _schedule_ack(
         self,
@@ -467,6 +471,9 @@ class SBRPModel(PersistencyModel):
                 return
             sm.engine.note_progress()
             st.retire_ack(ack_time)
+            if sm.metrics.enabled:
+                sm.metrics.inc("sbrp.acks")
+                sm.metrics.observe("sbrp.actr", float(st.actr))
             if sm.tracer.enabled:
                 sm.tracer.counter(f"sm{sm.sm_id}", "actr", t, float(st.actr))
             for waiter in waiters:

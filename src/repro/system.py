@@ -26,6 +26,7 @@ from repro.common.stats import StatsRegistry
 from repro.memory.address_space import AddressSpace, Allocation
 from repro.memory.namespace import NamespaceEntry, NamespaceTable
 from repro.gpu.device import GPU, KernelResult
+from repro.metrics.registry import NULL_METRICS, MetricsRegistry
 from repro.trace.tracer import NULL_TRACER, TraceConfig, Tracer
 
 
@@ -50,12 +51,14 @@ class GPUSystem:
         faults: Optional[Any] = None,
         watchdog_events: Optional[int] = None,
         model_factory: Optional[Any] = None,
+        metrics: "MetricsRegistry | bool | None" = None,
     ) -> None:
         self.config = config.validate()
         self.stats = StatsRegistry()
         self.space = AddressSpace(alignment=config.gpu.line_size)
         self.namespace = NamespaceTable(self.space)
         self.tracer = self._resolve_tracer(trace)
+        self.metrics = self._resolve_metrics(metrics)
         #: Fault injector (``repro.faults``) threaded through to the
         #: memory subsystem and persistency models; None = clean run.
         self.faults = faults
@@ -67,6 +70,7 @@ class GPUSystem:
             faults=faults,
             watchdog_events=watchdog_events,
             model_factory=model_factory,
+            metrics=self.metrics,
         )
         self.kernel_results: List[KernelResult] = []
         if pm_image is not None:
@@ -85,6 +89,19 @@ class GPUSystem:
         if isinstance(trace, Tracer):
             return trace
         raise SimulationError(f"unsupported trace argument: {trace!r}")
+
+    @staticmethod
+    def _resolve_metrics(
+        metrics: "MetricsRegistry | bool | None",
+    ) -> MetricsRegistry:
+        """Accept a MetricsRegistry or a bool; default: disabled."""
+        if metrics is None or metrics is False:
+            return NULL_METRICS
+        if metrics is True:
+            return MetricsRegistry()
+        if isinstance(metrics, MetricsRegistry):
+            return metrics
+        raise SimulationError(f"unsupported metrics argument: {metrics!r}")
 
     # ------------------------------------------------------------------
     # memory management
@@ -207,6 +224,13 @@ class GPUSystem:
     # ------------------------------------------------------------------
     def stat(self, name: str, default: float = 0.0) -> float:
         return self.stats.get(name, default)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One snapshot over both registries: StatsRegistry counters
+        overlaid with live metrics (counters/gauges/histograms)."""
+        from repro.metrics.export import build_snapshot
+
+        return build_snapshot(self.metrics, self.stats)
 
     def write_trace(self, path: str) -> None:
         """Export the run's trace as Chrome/Perfetto ``trace.json``."""

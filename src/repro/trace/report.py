@@ -238,6 +238,50 @@ def profile_tracer(
     return render_report(chrome_trace(tracer, config, cycles))
 
 
+def render_host_hotspots(profile, top: int = 20) -> str:
+    """ASCII table of the hottest host-side functions of a cProfile run.
+
+    Complements the simulation-side profile above: the stall tables say
+    where *simulated* time goes, this says where *wall-clock* time goes.
+    Formatting is done by hand (not ``pstats.print_stats``) so the
+    section composes with the rest of the report and stays stable
+    across Python versions.
+    """
+    import pstats
+
+    stats = pstats.Stats(profile)
+    entries = []
+    for (path, line, func), (cc, nc, tottime, cumtime, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        if path == "~":  # builtins: show just the descriptor
+            where = func
+        else:
+            name = Path(path).name
+            where = f"{name}:{line}:{func}"
+        entries.append((tottime, cumtime, nc, where))
+    entries.sort(key=lambda e: (-e[0], e[3]))
+    total = sum(e[0] for e in entries)
+    rows = [
+        [
+            where,
+            f"{nc}",
+            f"{tottime:.3f}",
+            f"{cumtime:.3f}",
+            f"{100.0 * tottime / total:.1f}" if total else "0.0",
+        ]
+        for tottime, cumtime, nc, where in entries[:top]
+    ]
+    lines = [
+        f"== host hotspots (cProfile, {total:.2f}s total) ==",
+        "",
+        _format_table(
+            ["function", "calls", "tottime", "cumtime", "self%"], rows
+        ),
+    ]
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.trace.report",

@@ -1,0 +1,150 @@
+"""repro.bench.perf / repro.bench.compare CLI behaviour."""
+
+import json
+
+import pytest
+
+import repro.bench.compare as compare
+import repro.bench.perf as perf
+
+
+@pytest.fixture(autouse=True)
+def tiny_suite(monkeypatch):
+    """Shrink every case so the whole suite runs in seconds."""
+    monkeypatch.setattr(
+        perf,
+        "PERF_PARAMS",
+        {
+            "gpkvs": dict(n_pairs=64, capacity=128, rounds=1),
+            "reduction": dict(blocks=1, per_thread=1),
+            "scan": dict(blocks=1),
+        },
+    )
+    monkeypatch.setattr(perf, "LITMUS_PROGRAMS", 1)
+    monkeypatch.setattr(perf, "LITMUS_CRASH_POINTS", 3)
+    monkeypatch.setattr(perf, "WARM_HITS", 2)
+
+
+class TestSuite:
+    def test_full_suite_covers_model_x_app_grid(self):
+        names = {case.name for case in perf.suite_cases()}
+        for model in ("gpm", "epoch", "sbrp"):
+            for app in ("gpkvs", "reduction", "scan"):
+                assert f"sim.{model}.{app}" in names
+        assert "litmus.enum" in names
+        assert "cache.warm" in names
+
+    def test_smoke_is_subset_with_same_names(self):
+        full = {case.name for case in perf.suite_cases()}
+        smoke = {case.name for case in perf.suite_cases(smoke=True)}
+        assert smoke < full
+        assert "litmus.enum" in smoke and "cache.warm" in smoke
+
+
+class TestPerfCli:
+    def test_writes_sorted_bench_json(self, tmp_path):
+        out = tmp_path / "BENCH_1.json"
+        rc = perf.main(
+            [
+                "--cases", "sim.sbrp.gpkvs", "litmus.enum", "cache.warm",
+                "--repeats", "1", "--warmup", "0",
+                "--out", str(out), "--quiet",
+            ]
+        )
+        assert rc == 0
+        text = out.read_text()
+        doc = json.loads(text)
+        assert json.dumps(doc, indent=2, sort_keys=True) + "\n" == text
+        case = doc["cases"]["sim.sbrp.gpkvs"]
+        assert case["cycles_per_sec"] > 0
+        assert case["events_per_sec"] > 0
+        assert case["wall_s"] > 0
+        assert doc["cases"]["litmus.enum"]["cycles_per_sec"] > 0
+        assert doc["cases"]["cache.warm"]["events_per_sec"] > 0
+
+    def test_auto_increment_naming(self, tmp_path):
+        assert perf.next_bench_path(str(tmp_path)).name == "BENCH_1.json"
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        (tmp_path / "BENCH_7.json").write_text("{}")
+        (tmp_path / "BENCH_extra.json").write_text("{}")  # ignored
+        assert perf.latest_bench_path(str(tmp_path)).name == "BENCH_7.json"
+        assert perf.next_bench_path(str(tmp_path)).name == "BENCH_8.json"
+
+    def test_dir_auto_numbering_via_cli(self, tmp_path):
+        rc = perf.main(
+            [
+                "--cases", "sim.sbrp.reduction",
+                "--repeats", "1", "--warmup", "0",
+                "--dir", str(tmp_path), "--quiet",
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "BENCH_1.json").exists()
+
+    def test_unknown_case_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            perf.main(["--cases", "sim.bogus.nope", "--out", str(tmp_path / "x")])
+
+    def test_profile_mode_prints_hotspots(self, capsys):
+        rc = perf.main(["--profile", "sim.sbrp.reduction"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "host hotspots" in out
+        assert "trace profile" in out  # sim profile merged in
+
+
+def _doc(rates):
+    return {
+        "cases": {
+            name: {"cycles_per_sec": rate, "events_per_sec": rate}
+            for name, rate in rates.items()
+        }
+    }
+
+
+class TestCompare:
+    def test_identical_docs_no_regressions(self):
+        doc = _doc({"a": 100.0, "b": 50.0})
+        result = compare.compare_benchmarks(doc, doc)
+        assert result["regressions"] == 0
+
+    def test_detects_regression_beyond_tolerance(self):
+        base = _doc({"a": 100.0})
+        slow = _doc({"a": 70.0})
+        result = compare.compare_benchmarks(base, slow, tolerance=0.25)
+        assert result["regressions"] == 1
+        assert result["rows"][0]["regressed"]
+
+    def test_within_tolerance_passes(self):
+        base = _doc({"a": 100.0})
+        ok = _doc({"a": 80.0})
+        result = compare.compare_benchmarks(base, ok, tolerance=0.25)
+        assert result["regressions"] == 0
+
+    def test_only_common_cases_compared(self):
+        base = _doc({"a": 100.0, "base_only": 1.0})
+        new = _doc({"a": 100.0, "new_only": 1.0})
+        result = compare.compare_benchmarks(base, new)
+        assert [row["case"] for row in result["rows"]] == ["a"]
+        assert result["only_base"] == ["base_only"]
+        assert result["only_new"] == ["new_only"]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        slow = tmp_path / "slow.json"
+        base.write_text(json.dumps(_doc({"a": 100.0})))
+        slow.write_text(json.dumps(_doc({"a": 10.0})))
+        assert compare.main([str(base), str(base)]) == 0
+        assert compare.main([str(base), str(slow)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_self_compare_of_real_bench_file(self, tmp_path):
+        out = tmp_path / "BENCH_1.json"
+        perf.main(
+            [
+                "--cases", "sim.sbrp.scan",
+                "--repeats", "1", "--warmup", "0",
+                "--out", str(out), "--quiet",
+            ]
+        )
+        assert compare.main([str(out), str(out)]) == 0

@@ -1,0 +1,100 @@
+"""The two observability invariants CI relies on.
+
+* metrics-on runs are **cycle-identical** to metrics-off runs — the
+  registry is a pure observer;
+* exec-layer snapshots are **byte-identical** across worker counts —
+  only deterministic quantities are recorded.
+"""
+
+from repro import GPUSystem, ModelName, PMPlacement, small_system
+from repro.apps import build_app
+from repro.exec import Executor, ScenarioJob
+from repro.metrics import MetricsRegistry, snapshot_json
+
+_PARAMS = {"blocks": 2, "per_thread": 1}
+
+
+def _run(model, metrics):
+    system = GPUSystem(small_system(model), metrics=metrics)
+    app = build_app("reduction", **_PARAMS)
+    app.setup(system)
+    app.run(system)
+    system.sync()
+    return system
+
+
+class TestCycleIdentity:
+    def test_metrics_do_not_change_timing(self, model):
+        plain = _run(model, metrics=False)
+        metered = _run(model, metrics=True)
+        assert metered.now == plain.now
+        assert dict(metered.stats.snapshot()) == dict(plain.stats.snapshot())
+        assert len(plain.metrics) == 0
+        assert len(metered.metrics) > 0
+
+    def test_metered_run_repeats_identically(self):
+        first = _run(ModelName.SBRP, metrics=True)
+        second = _run(ModelName.SBRP, metrics=True)
+        assert snapshot_json(first.metrics, first.stats) == snapshot_json(
+            second.metrics, second.stats
+        )
+
+
+class TestSimulationMetricsContent:
+    def test_core_instruments_populated(self):
+        system = _run(ModelName.SBRP, metrics=True)
+        counters = system.metrics.counters()
+        assert counters["persist.lines"] == system.stat("persist.lines")
+        assert counters["sm.warps_retired"] > 0
+        assert counters["sbrp.drained_persists"] > 0
+        assert system.metrics.gauge_value("engine.now") == system.now
+        hists = system.metrics.histograms()
+        assert hists["sbrp.pb_occupancy"].count > 0
+        assert hists["persist.accept_latency"].count > 0
+
+    def test_epoch_barrier_histogram(self):
+        system = _run(ModelName.EPOCH, metrics=True)
+        hist = system.metrics.histograms()["epoch.barrier_wait"]
+        assert hist.count == system.stat("epoch.barriers")
+        assert hist.count > 0
+
+    def test_snapshot_facade_merges_stats(self):
+        system = _run(ModelName.SBRP, metrics=True)
+        snap = system.metrics_snapshot()
+        # One path serves both registries: simulator stats counters and
+        # live metric counters land in the same section.
+        assert "l1.write_miss_pm" in snap["counters"]
+        assert "persist.flushes" in snap["counters"]
+
+
+def _jobs():
+    config = small_system(ModelName.SBRP, PMPlacement.NEAR)
+    config_far = small_system(ModelName.SBRP, PMPlacement.FAR)
+    job = ScenarioJob(app="reduction", config=config, app_params=_PARAMS)
+    other = ScenarioJob(app="reduction", config=config_far, app_params=_PARAMS)
+    return [job, other, job]  # duplicate exercises the memo counters
+
+
+class TestWorkerCountByteIdentity:
+    def test_snapshot_identical_serial_vs_pool(self):
+        serial = MetricsRegistry()
+        pooled = MetricsRegistry()
+        Executor(workers=1, metrics=serial).submit(_jobs())
+        Executor(workers=2, metrics=pooled).submit(_jobs())
+        assert snapshot_json(serial) == snapshot_json(pooled)
+        assert serial.counter_value("exec.submitted") == 3
+        assert serial.counter_value("exec.memo_hits") == 1
+        assert serial.counter_value("exec.executed") == 2
+
+    def test_cache_hits_counted_identically(self, tmp_path):
+        results = {}
+        for workers in (1, 2):
+            registry = MetricsRegistry()
+            root = str(tmp_path / f"w{workers}")
+            Executor(workers=workers, cache=root, metrics=registry).submit(
+                _jobs()
+            )
+            warm = Executor(workers=workers, cache=root, metrics=registry)
+            warm.submit(_jobs())
+            results[workers] = snapshot_json(registry)
+        assert results[1] == results[2]

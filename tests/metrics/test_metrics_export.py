@@ -1,0 +1,87 @@
+"""Snapshot and Prometheus exporters."""
+
+import json
+
+from repro.common.stats import StatsRegistry, histogram_summary
+from repro.metrics import (
+    MetricsRegistry,
+    build_snapshot,
+    prometheus_text,
+    snapshot_json,
+)
+
+
+def _populated():
+    metrics = MetricsRegistry()
+    metrics.inc("zeta.count", 2)
+    metrics.inc("alpha.count")
+    metrics.gauge("engine.now", 123.0)
+    metrics.observe("persist.lat", 4.0)
+    metrics.observe("persist.lat", 6.0)
+    return metrics
+
+
+class TestSnapshot:
+    def test_sections_and_sorting(self):
+        snap = build_snapshot(_populated())
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["alpha.count", "zeta.count"]
+        assert snap["gauges"] == {"engine.now": 123.0}
+        assert snap["histograms"]["persist.lat"]["count"] == 2
+
+    def test_stats_merge_metrics_win_collisions(self):
+        stats = StatsRegistry()
+        stats.add("shared", 1.0)
+        stats.add("stats.only", 5.0)
+        metrics = MetricsRegistry()
+        metrics.inc("shared", 10.0)
+        snap = build_snapshot(metrics, stats)
+        assert snap["counters"]["shared"] == 10.0
+        assert snap["counters"]["stats.only"] == 5.0
+
+    def test_json_is_sorted_and_round_trips(self):
+        text = snapshot_json(_populated())
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        assert json.dumps(parsed, indent=2, sort_keys=True) + "\n" == text
+
+    def test_empty_registry_snapshot(self):
+        snap = build_snapshot(MetricsRegistry())
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = prometheus_text(_populated())
+        assert "# TYPE repro_alpha_count_total counter" in text
+        assert "repro_alpha_count_total 1" in text
+        assert "# TYPE repro_engine_now gauge" in text
+        assert "repro_engine_now 123" in text
+
+    def test_histogram_exposition(self):
+        text = prometheus_text(_populated())
+        assert 'repro_persist_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_persist_lat_sum 10" in text
+        assert "repro_persist_lat_count 2" in text
+
+    def test_stats_counters_included(self):
+        stats = StatsRegistry()
+        stats.add("l1.read_miss", 3.0)
+        text = prometheus_text(MetricsRegistry(), stats)
+        assert "repro_l1_read_miss_total 3" in text
+
+    def test_dotted_names_sanitized(self):
+        text = prometheus_text(_populated())
+        assert "alpha.count" not in text
+
+
+class TestHistogramSummaryHelper:
+    def test_matches_metric_histogram(self):
+        summary = histogram_summary([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert 1.0 <= summary["p50"] <= summary["p95"] <= summary["p99"] <= 4.0
+
+    def test_empty_values(self):
+        assert histogram_summary([]) == {"count": 0}

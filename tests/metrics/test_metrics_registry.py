@@ -1,0 +1,123 @@
+"""MetricsRegistry / MetricHistogram unit behaviour."""
+
+import pytest
+
+from repro.metrics import (
+    DEFAULT_BOUNDS,
+    MetricHistogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+
+
+class TestCounters:
+    def test_inc_creates_and_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a.b")
+        metrics.inc("a.b", 2.5)
+        assert metrics.counter_value("a.b") == 3.5
+
+    def test_missing_counter_default(self):
+        assert MetricsRegistry().counter_value("nope", 7.0) == 7.0
+
+    def test_counters_copy_is_detached(self):
+        metrics = MetricsRegistry()
+        metrics.inc("x")
+        snap = metrics.counters()
+        snap["x"] = 99.0
+        assert metrics.counter_value("x") == 1.0
+
+
+class TestGauges:
+    def test_gauge_keeps_latest(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("g", 1.0)
+        metrics.gauge("g", -2.0)
+        assert metrics.gauge_value("g") == -2.0
+
+
+class TestDisabled:
+    def test_disabled_registry_records_nothing(self):
+        metrics = MetricsRegistry(enabled=False)
+        metrics.inc("c")
+        metrics.gauge("g", 1.0)
+        metrics.observe("h", 1.0)
+        assert len(metrics) == 0
+
+    def test_null_metrics_is_shared_and_empty(self):
+        assert NULL_METRICS.enabled is False
+        assert len(NULL_METRICS) == 0
+
+    def test_histogram_container_works_disabled(self):
+        # Call sites may cache the instrument even when disabled.
+        hist = MetricsRegistry(enabled=False).histogram("h")
+        assert hist.count == 0
+
+
+class TestHistogram:
+    def test_default_bounds_end_in_inf(self):
+        assert DEFAULT_BOUNDS[-1] == float("inf")
+
+    def test_bounds_must_end_in_inf(self):
+        with pytest.raises(ValueError):
+            MetricHistogram(bounds=(1.0, 2.0))
+
+    def test_exact_count_sum_min_max(self):
+        hist = MetricHistogram()
+        for value in (3.0, 1.0, 10.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 14.0
+        assert hist.min == 1.0
+        assert hist.max == 10.0
+        assert hist.mean == pytest.approx(14.0 / 3)
+
+    def test_single_value_percentiles_are_that_value(self):
+        hist = MetricHistogram()
+        hist.observe(5.0)
+        for q in (0.5, 0.95, 0.99):
+            assert hist.percentile(q) == pytest.approx(5.0)
+
+    def test_percentiles_monotone_and_within_range(self):
+        hist = MetricHistogram()
+        for value in range(1, 101):
+            hist.observe(float(value))
+        p50, p95, p99 = (
+            hist.percentile(0.50),
+            hist.percentile(0.95),
+            hist.percentile(0.99),
+        )
+        assert 1.0 <= p50 <= p95 <= p99 <= 100.0
+        assert p50 == pytest.approx(50.0, rel=0.35)
+
+    def test_empty_summary(self):
+        assert MetricHistogram().summary() == {"count": 0}
+
+    def test_summary_keys(self):
+        hist = MetricHistogram()
+        hist.observe(2.0)
+        assert set(hist.summary()) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+        }
+
+    def test_bucket_counts_cumulative(self):
+        hist = MetricHistogram(bounds=(1.0, 4.0, float("inf")))
+        for value in (0.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.bucket_counts() == [
+            (1.0, 1), (4.0, 2), (float("inf"), 3),
+        ]
+
+    def test_observe_via_registry(self):
+        metrics = MetricsRegistry()
+        metrics.observe("lat", 7.0)
+        metrics.observe("lat", 9.0)
+        assert metrics.histograms()["lat"].count == 2
+
+    def test_reset_clears_everything(self):
+        metrics = MetricsRegistry()
+        metrics.inc("c")
+        metrics.gauge("g", 1.0)
+        metrics.observe("h", 1.0)
+        metrics.reset()
+        assert len(metrics) == 0
