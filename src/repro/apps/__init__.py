@@ -37,13 +37,29 @@ APPS = {
     "scan": Scan,
 }
 
+#: Apps resolved on first use: ``name -> (module, class)``.  The serve
+#: app lives in :mod:`repro.serve`, which imports this package — eager
+#: registration would cycle, so :func:`build_app` imports it lazily.
+_LAZY_APPS = {
+    "serve_kvs": ("repro.serve.app", "ServeKVS"),
+}
+
+
+def app_names():
+    """Every registered app name (eager and lazy)."""
+    return sorted(set(APPS) | set(_LAZY_APPS))
+
 
 def build_app(name: str, **params):
     """Instantiate a registered application by name."""
-    try:
-        cls = APPS[name]
-    except KeyError:
-        raise KeyError(f"unknown app {name!r}; have {sorted(APPS)}") from None
+    cls = APPS.get(name)
+    if cls is None and name in _LAZY_APPS:
+        import importlib
+
+        module, attr = _LAZY_APPS[name]
+        cls = APPS[name] = getattr(importlib.import_module(module), attr)
+    if cls is None:
+        raise KeyError(f"unknown app {name!r}; have {app_names()}")
     return cls(**params)
 
 
@@ -51,6 +67,7 @@ __all__ = [
     "APPS",
     "App",
     "AppParams",
+    "app_names",
     "GpKVS",
     "Hashmap",
     "Multiqueue",

@@ -2,12 +2,16 @@
 
 A case regresses when its new rate drops more than ``--tolerance``
 (default 25%) below the baseline.  Only cases present in both files are
-compared, so a ``--smoke`` run diffs cleanly against a full baseline.
+compared, so a ``--smoke`` run diffs cleanly against a full baseline;
+non-common cases are listed as ``added`` / ``removed`` lines, and
+``--require-common`` turns any such drift into a failure (for CI runs
+where the two suites must match exactly).
 
 Command line::
 
     python -m repro.bench.compare BENCH_1.json BENCH_2.json
     python -m repro.bench.compare old.json new.json --tolerance 0.10
+    python -m repro.bench.compare old.json new.json --require-common
 """
 
 from __future__ import annotations
@@ -72,9 +76,9 @@ def render_comparison(result: Mapping[str, Any]) -> str:
             f"{100 * row['delta']:>+7.1f}%{mark}"
         )
     for name in result["only_base"]:
-        lines.append(f"{name:22s} (only in baseline; skipped)")
+        lines.append(f"removed  {name} (only in baseline)")
     for name in result["only_new"]:
-        lines.append(f"{name:22s} (only in new run; skipped)")
+        lines.append(f"added    {name} (only in new run)")
     lines.append(
         f"{result['regressions']} regression(s) on {result['metric']} at "
         f"{100 * result['tolerance']:.0f}% tolerance over "
@@ -106,6 +110,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["cycles_per_sec", "events_per_sec"],
         help="rate to compare (default: cycles_per_sec)",
     )
+    parser.add_argument(
+        "--require-common",
+        action="store_true",
+        help="fail when either file has cases the other lacks",
+    )
     args = parser.parse_args(argv)
     try:
         base = load_bench(args.base)
@@ -118,6 +127,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(render_comparison(result), end="")
     if not result["rows"]:
         print("no common cases to compare", flush=True)
+    drift = result["only_base"] or result["only_new"]
+    if args.require_common and drift:
+        print(
+            f"case drift: {len(result['only_base'])} removed, "
+            f"{len(result['only_new'])} added (--require-common)",
+            flush=True,
+        )
+        return 1
     return 1 if result["regressions"] else 0
 
 

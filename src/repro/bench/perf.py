@@ -9,6 +9,8 @@ incremented, sorted keys) and are diffed with
 
 Cases are pinned: a fixed set of cold single-scenario simulations (one
 per persistency model x app on the ``small_system`` machine), one
+serving-subsystem measurement (stream planning + durable transactions +
+recovery-under-load; events/sec = requests served per second), one
 litmus-enumeration batch, and one cache-warm case that measures how fast
 the content-addressed result cache serves hits.
 
@@ -50,6 +52,13 @@ PERF_APPS = ("gpkvs", "reduction", "scan")
 #: Models of the sim cases, in suite order.
 PERF_MODELS = (ModelName.GPM, ModelName.EPOCH, ModelName.SBRP)
 
+#: Serve case: one SLO measurement of the serving subsystem (stream
+#: planning + durable transactions + recovery-under-load).  Sized like
+#: the serve smoke suite; events = requests served.
+SERVE_PARAMS: Dict[str, Any] = dict(
+    n_requests=96, n_keys=96, capacity=256, batch_requests=48
+)
+
 #: Litmus-enumeration case: how many corpus programs and crash points.
 LITMUS_PROGRAMS = 4
 LITMUS_CRASH_POINTS = 12
@@ -85,6 +94,9 @@ def suite_cases(smoke: bool = False) -> List[PerfCase]:
                     app=app,
                 )
             )
+    cases.append(
+        PerfCase(name="serve.sbrp.kvs", kind="serve", model=ModelName.SBRP)
+    )
     cases.append(PerfCase(name="litmus.enum", kind="litmus"))
     cases.append(PerfCase(name="cache.warm", kind="cache"))
     return cases
@@ -101,6 +113,16 @@ def _run_sim(case: PerfCase) -> Tuple[float, float]:
     app.setup(system)
     app.run(system)
     return system.now, float(system.gpu.engine.events_processed)
+
+
+def _run_serve(case: PerfCase) -> Tuple[float, float]:
+    from repro.serve.runner import run_serve_scenario
+
+    assert case.model is not None
+    result = run_serve_scenario(
+        "serve_kvs", small_system(case.model), SERVE_PARAMS
+    )
+    return result.cycles, result.stats["serve.requests"]
 
 
 def _litmus_spec() -> Dict[str, Any]:
@@ -164,6 +186,8 @@ def run_case_once(case: PerfCase, cache_root: Optional[str] = None) -> Dict[str,
     start = time.perf_counter()
     if case.kind == "sim":
         cycles, events = _run_sim(case)
+    elif case.kind == "serve":
+        cycles, events = _run_serve(case)
     elif case.kind == "litmus":
         cycles, events = _run_litmus(case)
     elif case.kind == "cache":

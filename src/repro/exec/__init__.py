@@ -31,6 +31,7 @@ from repro.exec.jobs import (
     MODE_FAULTS,
     MODE_RECOVERY,
     MODE_SCENARIO,
+    MODE_SERVE,
     ScenarioJob,
     code_fingerprint,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "MODE_FAULTS",
     "MODE_RECOVERY",
     "MODE_SCENARIO",
+    "MODE_SERVE",
     "PoolEvent",
     "ResultCache",
     "ScenarioJob",

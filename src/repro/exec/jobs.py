@@ -39,8 +39,12 @@ MODE_FAULTS = "faults"
 #: Conformance batch: run litmus programs through the operational
 #: simulator and diff every observed image against the axiomatic model.
 MODE_CHECK = "check"
+#: Serving SLO measurement: run a planned request stream through the
+#: transaction layer and report throughput, latency percentiles, and
+#: worst-case recovery time (see :mod:`repro.serve.runner`).
+MODE_SERVE = "serve"
 
-_MODES = (MODE_SCENARIO, MODE_RECOVERY, MODE_FAULTS, MODE_CHECK)
+_MODES = (MODE_SCENARIO, MODE_RECOVERY, MODE_FAULTS, MODE_CHECK, MODE_SERVE)
 
 _code_fingerprint: Optional[str] = None
 
@@ -214,6 +218,12 @@ class ScenarioJob:
 
             assert self.check is not None  # enforced by __post_init__
             return run_check_batch(dict(self.check))
+        if self.mode == MODE_SERVE:
+            from repro.serve.runner import run_serve_scenario
+
+            return run_serve_scenario(
+                self.app, self.config, dict(self.app_params)
+            )
         return run_scenario(
             self.app,
             self.config,

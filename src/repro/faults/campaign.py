@@ -71,6 +71,12 @@ APP_PARAMS: Dict[str, Dict[str, Any]] = {
 SMOKE_PARAMS: Dict[str, Any] = dict(n_pairs=128, capacity=256, rounds=2)
 SMOKE_MAX_CRASH_POINTS = 12
 
+#: Serving-subsystem crash-under-load cells: the CI-sized request
+#: stream (mirrors ``repro.serve.bench`` smoke params).
+SERVE_PARAMS: Dict[str, Any] = dict(
+    n_requests=96, n_keys=96, capacity=256, batch_requests=48
+)
+
 ALL_MODELS = (ModelName.SBRP, ModelName.GPM, ModelName.EPOCH)
 ALL_PLACEMENTS = (PMPlacement.FAR, PMPlacement.NEAR)
 
@@ -207,9 +213,46 @@ def congested_cells(
     ]
 
 
+def serve_cells(
+    models: Tuple[ModelName, ...],
+    max_points: int,
+    params: Optional[Dict[str, Any]] = None,
+) -> List[Cell]:
+    """Crash-under-load: power-cut the serving stream's durable
+    transactions mid-flight under every model (recovery must land on a
+    consistent table), plus the ``early_commit`` teeth check — the
+    transaction layer truncates its undo log before the in-place update
+    it covers, so some crash window must defeat recovery."""
+    base = dict(params or SERVE_PARAMS)
+    cells = [
+        Cell(
+            app="serve_kvs",
+            app_params=dict(base),
+            model=model,
+            placement=PMPlacement.FAR,
+            plan=PowerCutPlan(),
+            max_crash_points=max_points,
+        )
+        for model in models
+    ]
+    teeth = ModelName.SBRP if ModelName.SBRP in models else models[0]
+    cells.append(
+        Cell(
+            app="serve_kvs",
+            app_params={**base, "seeded_bug": "early_commit"},
+            model=teeth,
+            placement=PMPlacement.FAR,
+            plan=PowerCutPlan(expect=EXPECT_INCONSISTENT),
+            max_crash_points=max_points,
+        )
+    )
+    return cells
+
+
 def smoke_cells(models: Tuple[ModelName, ...]) -> List[Cell]:
     """The bounded CI preset: gpKVS under every model, clean power cuts
-    plus safe torn persists, and the seeded-bug teeth check under SBRP."""
+    plus safe torn persists, the seeded-bug teeth checks under SBRP,
+    and the serving subsystem's crash-under-load cells."""
     cells = [
         Cell(
             app="gpkvs",
@@ -227,6 +270,7 @@ def smoke_cells(models: Tuple[ModelName, ...]) -> List[Cell]:
     )
     cells += seeded_cells(seeded_models, SMOKE_MAX_CRASH_POINTS)
     cells += congested_cells(seeded_models, SMOKE_MAX_CRASH_POINTS)
+    cells += serve_cells(models, SMOKE_MAX_CRASH_POINTS)
     return cells
 
 
@@ -253,6 +297,7 @@ def full_cells(
     ]
     cells += seeded_cells(models[:1], max_points, params=APP_PARAMS["gpkvs"])
     cells += congested_cells(models[:1], max_points, params=APP_PARAMS["gpkvs"])
+    cells += serve_cells(models, max_points)
     return cells
 
 

@@ -1,0 +1,67 @@
+"""Serving subsystem: traffic-driven gpKVS with durable transactions.
+
+The paper evaluates gpKVS as one fixed kernel batch; the serving
+subsystem turns it into the ROADMAP's production shape — a request
+*stream* served by the simulator:
+
+* :mod:`~repro.serve.workload` — deterministic seeded YCSB-style
+  workload generator (read/update/insert/RMW mixes, zipfian or uniform
+  key popularity, open-loop Poisson/uniform arrivals) batched into
+  kernel launches with per-batch write deduplication;
+* :mod:`~repro.serve.txn` — the durable-transaction path selector:
+  L1-persist-buffer undo logging vs. direct-NVM redo write-through,
+  chosen adaptively per transaction size (with forced-path baselines
+  for ablation);
+* :mod:`~repro.serve.app` — :class:`~repro.serve.app.ServeKVS`, the
+  transactional KVS app that executes one planned stream, batch by
+  batch, under group commit;
+* :mod:`~repro.serve.runner` — one SLO measurement: throughput,
+  p50/p95/p99 request latency, recovery time after crash-under-load;
+* :mod:`~repro.serve.bench` — ``python -m repro.serve.bench``, the
+  model x policy SLO grid through the crash-isolated Executor.
+
+Nothing here imports :mod:`repro.bench` at module scope; the serve app
+registers lazily in :mod:`repro.apps` to keep imports cycle-free.
+"""
+
+from repro.serve.txn import (
+    PATH_DIRECT,
+    PATH_PB,
+    POLICIES,
+    POLICY_ADAPTIVE,
+    POLICY_FORCED_DIRECT,
+    POLICY_FORCED_PB,
+    select_path,
+)
+from repro.serve.workload import (
+    MIXES,
+    OP_INSERT,
+    OP_READ,
+    OP_RMW,
+    OP_UPDATE,
+    Batch,
+    Plan,
+    Request,
+    WorkloadSpec,
+    plan_workload,
+)
+
+__all__ = [
+    "Batch",
+    "MIXES",
+    "OP_INSERT",
+    "OP_READ",
+    "OP_RMW",
+    "OP_UPDATE",
+    "PATH_DIRECT",
+    "PATH_PB",
+    "POLICIES",
+    "POLICY_ADAPTIVE",
+    "POLICY_FORCED_DIRECT",
+    "POLICY_FORCED_PB",
+    "Plan",
+    "Request",
+    "WorkloadSpec",
+    "plan_workload",
+    "select_path",
+]

@@ -1,0 +1,75 @@
+"""Durable-transaction persist-path selection.
+
+Every write transaction persists through one of two paths, the core
+design of "Adaptive Data Path Selection for Durable Transaction in GPU
+Persistent Memory" (PAPERS.md):
+
+* **PB path** (``pb``) — undo logging through the L1 persist buffer:
+  read the old row, write a sealed undo record, ``ofence``, update in
+  place, ``ofence``, clear the seal.  Persists stay buffered, so small
+  transactions commit at L1 speed — but the old-row reads and the
+  doubled store footprint put large transactions' lines straight into
+  persist-buffer pressure (evictions, drain stalls).
+
+* **direct path** (``direct``) — redo logging with NVM write-through:
+  write the redo record (new values only — no old-row reads), flag it
+  with a checksum, ``dfence`` (the write-through: the warp waits until
+  the record is durable, and the drained buffer sheds its pressure),
+  apply in place, ``ofence``, clear the flag.  The dfence is a real
+  stall, so small transactions lose here; large ones win by skipping
+  the cold old-row reads and by keeping the persist buffer shallow.
+
+The adaptive policy picks per transaction *size* (row words = key +
+value + payload); the forced policies pin one path for ablation.
+Combined with size-segregated batching (:mod:`repro.serve.workload`)
+the per-request choice is homogeneous per warp, so a warp either skips
+the dfence entirely or amortizes one across 32 commits.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Persist paths.
+PATH_PB = "pb"
+PATH_DIRECT = "direct"
+
+#: Selection policies.
+POLICY_ADAPTIVE = "adaptive"
+POLICY_FORCED_PB = "forced_pb"
+POLICY_FORCED_DIRECT = "forced_direct"
+
+POLICIES: Tuple[str, ...] = (
+    POLICY_ADAPTIVE,
+    POLICY_FORCED_PB,
+    POLICY_FORCED_DIRECT,
+)
+
+#: Default adaptive cut-over, in row words (key + value + payload).
+#: Small-payload rows (2 + payload_small = 4 words) stay on the PB
+#: path; large-payload rows (2 + payload_large = 10 words) go direct.
+DEFAULT_THRESHOLD_WORDS = 6
+
+
+def txn_size_words(payload_words: int) -> int:
+    """A transaction's row footprint: key word + value word + payload."""
+    return 2 + payload_words
+
+
+def select_path(
+    policy: str,
+    payload_words: int,
+    threshold_words: int = DEFAULT_THRESHOLD_WORDS,
+) -> str:
+    """The persist path for one write transaction under *policy*."""
+    if policy == POLICY_FORCED_PB:
+        return PATH_PB
+    if policy == POLICY_FORCED_DIRECT:
+        return PATH_DIRECT
+    if policy == POLICY_ADAPTIVE:
+        return (
+            PATH_DIRECT
+            if txn_size_words(payload_words) > threshold_words
+            else PATH_PB
+        )
+    raise ValueError(f"unknown policy {policy!r}; have {POLICIES}")

@@ -20,6 +20,11 @@ def tiny_suite(monkeypatch):
             "scan": dict(blocks=1),
         },
     )
+    monkeypatch.setattr(
+        perf,
+        "SERVE_PARAMS",
+        dict(n_requests=24, n_keys=24, capacity=64, batch_requests=12),
+    )
     monkeypatch.setattr(perf, "LITMUS_PROGRAMS", 1)
     monkeypatch.setattr(perf, "LITMUS_CRASH_POINTS", 3)
     monkeypatch.setattr(perf, "WARM_HITS", 2)
@@ -31,6 +36,7 @@ class TestSuite:
         for model in ("gpm", "epoch", "sbrp"):
             for app in ("gpkvs", "reduction", "scan"):
                 assert f"sim.{model}.{app}" in names
+        assert "serve.sbrp.kvs" in names
         assert "litmus.enum" in names
         assert "cache.warm" in names
 
@@ -39,6 +45,7 @@ class TestSuite:
         smoke = {case.name for case in perf.suite_cases(smoke=True)}
         assert smoke < full
         assert "litmus.enum" in smoke and "cache.warm" in smoke
+        assert "serve.sbrp.kvs" in smoke
 
 
 class TestPerfCli:
@@ -61,6 +68,22 @@ class TestPerfCli:
         assert case["wall_s"] > 0
         assert doc["cases"]["litmus.enum"]["cycles_per_sec"] > 0
         assert doc["cases"]["cache.warm"]["events_per_sec"] > 0
+
+    def test_serve_case_reports_request_rate(self, tmp_path):
+        out = tmp_path / "BENCH_1.json"
+        rc = perf.main(
+            [
+                "--cases", "serve.sbrp.kvs",
+                "--repeats", "1", "--warmup", "0",
+                "--out", str(out), "--quiet",
+            ]
+        )
+        assert rc == 0
+        case = json.loads(out.read_text())["cases"]["serve.sbrp.kvs"]
+        assert case["kind"] == "serve"
+        assert case["cycles_per_sec"] > 0
+        assert case["events"] == 24.0  # requests served
+        assert case["events_per_sec"] > 0
 
     def test_auto_increment_naming(self, tmp_path):
         assert perf.next_bench_path(str(tmp_path)).name == "BENCH_1.json"
@@ -128,6 +151,26 @@ class TestCompare:
         assert [row["case"] for row in result["rows"]] == ["a"]
         assert result["only_base"] == ["base_only"]
         assert result["only_new"] == ["new_only"]
+
+    def test_non_common_cases_render_as_added_removed(self):
+        base = _doc({"a": 100.0, "gone": 1.0})
+        new = _doc({"a": 100.0, "fresh": 1.0})
+        out = compare.render_comparison(compare.compare_benchmarks(base, new))
+        assert "removed  gone (only in baseline)" in out
+        assert "added    fresh (only in new run)" in out
+
+    def test_require_common_fails_on_case_drift(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        new = tmp_path / "new.json"
+        base.write_text(json.dumps(_doc({"a": 100.0, "gone": 1.0})))
+        new.write_text(json.dumps(_doc({"a": 100.0})))
+        # tolerated by default...
+        assert compare.main([str(base), str(new)]) == 0
+        # ...fatal under --require-common
+        assert compare.main([str(base), str(new), "--require-common"]) == 1
+        assert "case drift: 1 removed, 0 added" in capsys.readouterr().out
+        # no drift -> --require-common passes
+        assert compare.main([str(base), str(base), "--require-common"]) == 0
 
     def test_cli_exit_codes(self, tmp_path, capsys):
         base = tmp_path / "base.json"

@@ -39,9 +39,15 @@ class TestSmoke:
             if row["expect"] == "consistent"
         ]
         # gpkvs x {sbrp, gpm, epoch} x {power_cut, torn_persist:last}
-        assert len(clean) == 6
+        # + serve_kvs x {sbrp, gpm, epoch} x power_cut
+        assert len(clean) == 9
         assert all(row["outcome"] == "consistent" for row in clean)
         assert {row["model"] for row in clean} == {"sbrp", "gpm", "epoch"}
+        assert {
+            row["model"]
+            for row in clean
+            if row["app"] == "serve_kvs"
+        } == {"sbrp", "gpm", "epoch"}
 
     def test_seeded_bugs_are_flagged(self, smoke):
         _, _, report = smoke

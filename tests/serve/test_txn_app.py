@@ -1,0 +1,109 @@
+"""Durable transaction layer: path selection, crash safety, and the
+adaptive-beats-forced ablation the serving subsystem exists to show."""
+
+import pytest
+
+from repro.apps import build_app
+from repro.common.config import ModelName, small_system
+from repro.crash import CrashHarness
+from repro.serve.txn import (
+    DEFAULT_THRESHOLD_WORDS,
+    PATH_DIRECT,
+    PATH_PB,
+    POLICY_ADAPTIVE,
+    POLICY_FORCED_DIRECT,
+    POLICY_FORCED_PB,
+    select_path,
+    txn_size_words,
+)
+from repro.system import GPUSystem
+
+#: CI-sized stream (the bench smoke params).
+SMALL = dict(n_requests=96, n_keys=96, capacity=256, batch_requests=48)
+
+
+class TestSelectPath:
+    def test_adaptive_splits_on_transaction_size(self):
+        small = DEFAULT_THRESHOLD_WORDS - txn_size_words(0) - 1
+        large = DEFAULT_THRESHOLD_WORDS - txn_size_words(0) + 1
+        assert select_path(POLICY_ADAPTIVE, small) == PATH_PB
+        assert select_path(POLICY_ADAPTIVE, large) == PATH_DIRECT
+
+    def test_forced_policies_ignore_size(self):
+        for payload in (0, 2, 8, 64):
+            assert select_path(POLICY_FORCED_PB, payload) == PATH_PB
+            assert select_path(POLICY_FORCED_DIRECT, payload) == PATH_DIRECT
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            select_path("bogus", 2)
+        with pytest.raises(ValueError):
+            build_app("serve_kvs", policy="bogus", **SMALL)
+
+
+def run_stream(model, params=SMALL, **overrides):
+    params = dict(params, **overrides)
+    system = GPUSystem(small_system(model))
+    app = build_app("serve_kvs", **params)
+    app.setup(system)
+    outcome = app.run(system)
+    system.sync()
+    app.check(system, complete=True)
+    return app, outcome
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize(
+        "model", [ModelName.SBRP, ModelName.GPM, ModelName.EPOCH]
+    )
+    def test_stream_serves_and_verifies(self, model):
+        app, outcome = run_stream(model)
+        assert outcome.cycles > 0
+        paths = app.path_counts()
+        assert paths["pb"] > 0 and paths["direct"] > 0
+
+    def test_forced_paths_route_everything_one_way(self):
+        app, _ = run_stream(ModelName.SBRP, policy=POLICY_FORCED_PB)
+        assert app.path_counts()["direct"] == 0
+        app, _ = run_stream(ModelName.SBRP, policy=POLICY_FORCED_DIRECT)
+        assert app.path_counts()["pb"] == 0
+
+
+class TestCrashSafety:
+    @pytest.mark.parametrize(
+        "model", [ModelName.SBRP, ModelName.GPM, ModelName.EPOCH]
+    )
+    def test_every_crash_point_recovers_consistent(self, model):
+        harness = CrashHarness(
+            lambda: build_app("serve_kvs", **SMALL), small_system(model)
+        )
+        for report in harness.sweep(points=6, complete=False):
+            assert report.consistent, report.error
+
+    def test_early_commit_bug_defeats_recovery(self):
+        harness = CrashHarness(
+            lambda: build_app(
+                "serve_kvs", seeded_bug="early_commit", **SMALL
+            ),
+            small_system(ModelName.SBRP),
+        )
+        reports = harness.crash_at_every_persist(limit=12)
+        assert any(not report.consistent for report in reports)
+
+
+class TestAdaptiveAblation:
+    """The acceptance bar: on the default mixed-size stream under SBRP,
+    adaptive path selection must measurably beat the forced-PB
+    baseline (buffering large payloads poisons the SM-wide dfence
+    drain; writing them through sheds that exposure)."""
+
+    def test_adaptive_beats_forced_pb_under_sbrp(self):
+        # The app's defaults ARE the paper config: 256-request zipfian
+        # rmw_heavy stream, mixed payload sizes, 128-request batches.
+        _, adaptive = run_stream(
+            ModelName.SBRP, params={}, policy=POLICY_ADAPTIVE
+        )
+        _, forced = run_stream(
+            ModelName.SBRP, params={}, policy=POLICY_FORCED_PB
+        )
+        assert adaptive.cycles < 0.97 * forced.cycles
