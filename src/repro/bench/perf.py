@@ -72,7 +72,7 @@ class PerfCase:
     """One pinned measurement of the suite."""
 
     name: str
-    kind: str  # "sim" | "litmus" | "cache"
+    kind: str  # "sim" | "serve" | "soak" | "litmus" | "cache"
     model: Optional[ModelName] = None
     app: Optional[str] = None
 
@@ -96,6 +96,9 @@ def suite_cases(smoke: bool = False) -> List[PerfCase]:
             )
     cases.append(
         PerfCase(name="serve.sbrp.kvs", kind="serve", model=ModelName.SBRP)
+    )
+    cases.append(
+        PerfCase(name="soak.sbrp.kvs", kind="soak", model=ModelName.SBRP)
     )
     cases.append(PerfCase(name="litmus.enum", kind="litmus"))
     cases.append(PerfCase(name="cache.warm", kind="cache"))
@@ -123,6 +126,35 @@ def _run_serve(case: PerfCase) -> Tuple[float, float]:
         "serve_kvs", small_system(case.model), SERVE_PARAMS
     )
     return result.cycles, result.stats["serve.requests"]
+
+
+def _run_soak(case: PerfCase) -> Tuple[float, float]:
+    """The chaos chain as a perf case: a resilient SBRP serve stream
+    through the pinned brownout+burst schedule with crash→recover→crash
+    legs and the recovery oracle at every reboot — the heaviest
+    composite path the simulator has (serve kernels + chronic injector
+    + crash imaging + oracle recovery).  events = committed requests."""
+    from dataclasses import replace
+
+    from repro.chaos.runner import run_soak_scenario
+    from repro.chaos.soak import SOAK_PARAMS, brownout_burst
+    from repro.common.config import ResilienceConfig
+
+    assert case.model is not None
+    config = replace(
+        small_system(case.model), resilience=ResilienceConfig(enabled=True)
+    )
+    result = run_soak_scenario(
+        "serve_kvs",
+        config,
+        dict(SOAK_PARAMS),
+        {
+            "timeline": brownout_burst().to_json(),
+            "crash_every_batches": 2,
+            "crash_fraction": 0.6,
+        },
+    )
+    return result.cycles, result.stats["soak.committed_requests"]
 
 
 def _litmus_spec() -> Dict[str, Any]:
@@ -188,6 +220,8 @@ def run_case_once(case: PerfCase, cache_root: Optional[str] = None) -> Dict[str,
         cycles, events = _run_sim(case)
     elif case.kind == "serve":
         cycles, events = _run_serve(case)
+    elif case.kind == "soak":
+        cycles, events = _run_soak(case)
     elif case.kind == "litmus":
         cycles, events = _run_litmus(case)
     elif case.kind == "cache":

@@ -1,0 +1,21 @@
+"""Chaos subsystem: chronic fault schedules, runtime resilience, soak runs.
+
+Three layers (DESIGN §13):
+
+* :mod:`repro.chaos.timeline` — deterministic, seeded fault *schedules*
+  over simulated time (:class:`FaultWindow` / :class:`TimelinePlan`),
+  composing with the point :class:`~repro.faults.plans.FaultPlan`\\ s;
+* :mod:`repro.chaos.injector` — the :class:`ChronicInjector` that
+  interprets a timeline against a live machine, plus the bounded-retry
+  policies it applies;
+* :mod:`repro.chaos.resilience` + :mod:`repro.chaos.runner` — the
+  watermark/degradation state machine threaded into the serve batch
+  scheduler, and the soak runner driving crash→recover→crash chains
+  with the recovery oracle at every reboot.
+
+CLI: ``python -m repro.chaos.soak``.
+"""
+
+from repro.chaos.timeline import FaultWindow, TimelinePlan
+
+__all__ = ["FaultWindow", "TimelinePlan"]

@@ -1,0 +1,160 @@
+"""The chronic injector: a fault timeline interpreted against one machine.
+
+:class:`ChronicInjector` extends the point-fault
+:class:`~repro.faults.injector.FaultInjector` with *time-dependent*
+behavior: every hook first consults the plan's fault windows at the
+current **global** soak-chain time (``time_offset + machine-local
+now``), then delegates to the composed base plan's injector (sharing one
+tally dict so reports see a single ``counts`` view).
+
+Brownouts and WPQ squeezes are not applied here but by the NVM
+controllers themselves — the memory subsystem wires ``controller.throttle
+= injector`` when it sees ``is_chronic`` — because bandwidth and
+capacity are controller state, not per-persist events.
+
+The retry policy for burst failures is the device-level linear schedule
+by default; attaching an enabled
+:class:`~repro.common.config.ResilienceConfig` swaps in its bounded
+exponential-backoff policy with a larger budget — which is exactly the
+difference the soak harness's mutation teeth assert (a burst that a
+resilient run absorbs must kill an unprotected one).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.common.errors import FaultInjectionError
+from repro.common.retry import SCHEDULE_LINEAR, RetryPolicy
+from repro.chaos.timeline import (
+    WINDOW_ACK_STORM,
+    WINDOW_BROWNOUT,
+    WINDOW_BURST,
+    WINDOW_WPQ_SQUEEZE,
+    FaultWindow,
+    TimelinePlan,
+)
+from repro.faults.injector import FaultInjector, build_injector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.common.config import ResilienceConfig
+    from repro.memory.subsystem import PersistRecord
+
+
+class ChronicInjector(FaultInjector):
+    """Interprets one :class:`TimelinePlan` against one simulated system."""
+
+    #: Duck-typed marker the memory subsystem keys off to wire the
+    #: controller throttle (avoids importing this module from memory/).
+    is_chronic = True
+
+    def __init__(
+        self,
+        plan: TimelinePlan,
+        resilience: "Optional[ResilienceConfig]" = None,
+        time_offset: float = 0.0,
+    ) -> None:
+        super().__init__(plan)
+        self.time_offset = float(time_offset)
+        enabled = resilience is not None and getattr(resilience, "enabled", False)
+        self.resilience = resilience if enabled else None
+        self.policy = (
+            self.resilience.retry_policy()
+            if self.resilience is not None
+            else RetryPolicy(
+                max_retries=plan.device_max_retries,
+                base_cycles=plan.device_backoff_cycles,
+                schedule=SCHEDULE_LINEAR,
+            )
+        )
+        self._base = build_injector(plan.base_plan())
+        if self._base is not None:
+            # One tally dict: composed-plan injections surface in the
+            # same counts the runners embed in reports.
+            self._base.counts = self.counts
+
+    # ------------------------------------------------------------------
+    # window lookup (global soak-chain time)
+    # ------------------------------------------------------------------
+    def _global(self, now: float) -> float:
+        return self.time_offset + now
+
+    def _active(self, kind: str, time: float) -> List[FaultWindow]:
+        return [
+            w for w in self.plan.windows if w.kind == kind and w.contains(time)
+        ]
+
+    # ------------------------------------------------------------------
+    # controller throttle hooks (consulted by NVMController.write)
+    # ------------------------------------------------------------------
+    def nvm_scale_at(self, now: float) -> float:
+        """Drain-bandwidth multiplier at machine-local *now*."""
+        scale = 1.0
+        for window in self._active(WINDOW_BROWNOUT, self._global(now)):
+            scale *= window.intensity
+        return scale
+
+    def wpq_limit_at(self, now: float) -> int:
+        """Active WPQ entry clamp (0 = unclamped)."""
+        limits = [
+            int(w.intensity)
+            for w in self._active(WINDOW_WPQ_SQUEEZE, self._global(now))
+        ]
+        return min(limits) if limits else 0
+
+    # ------------------------------------------------------------------
+    # persist-path hooks
+    # ------------------------------------------------------------------
+    def persist_delay(self, seq: int, now: float = 0.0) -> float:
+        delay = (
+            self._base.persist_delay(seq, now=now) if self._base is not None else 0.0
+        )
+        fails = 0
+        for window in self._active(WINDOW_BURST, self._global(now)):
+            if seq % window.every == 0:
+                fails = max(fails, int(window.intensity))
+        if not fails:
+            return delay
+        if self.policy.exhausted(fails):
+            self._bump("nvm_retry_exhausted")
+            layer = "resilience" if self.resilience is not None else "device"
+            raise FaultInjectionError(
+                f"chronic NVM burst: persist #{seq} failed {fails} times, "
+                f"exceeding the {layer} retry budget of {self.policy.max_retries}"
+            )
+        self._bump("nvm_transient_failures", fails)
+        if self.resilience is not None:
+            self._bump("nvm_retries_absorbed", fails)
+        return delay + self.policy.total_delay(fails)
+
+    def transform_accept(self, seq: int, accept: float) -> float:
+        if self._base is not None:
+            return self._base.transform_accept(seq, accept)
+        return accept
+
+    def transform_ack(self, seq: int, accept: float, ack: float) -> float:
+        if self._base is not None:
+            ack = self._base.transform_ack(seq, accept, ack)
+        if not math.isfinite(ack):
+            return ack
+        deferred = ack
+        for window in self._active(WINDOW_ACK_STORM, self._global(ack)):
+            deferred = max(
+                deferred, window.end + window.intensity - self.time_offset
+            )
+        if deferred != ack:
+            self._bump("stormed_acks")
+        return deferred
+
+    def drop_flush(self, sm_id: int, line_addr: int) -> bool:
+        if self._base is not None:
+            return self._base.drop_flush(sm_id, line_addr)
+        return False
+
+    def torn_records(
+        self, records: List["PersistRecord"], time: float
+    ) -> List["PersistRecord"]:
+        if self._base is not None:
+            return self._base.torn_records(records, time)
+        return records

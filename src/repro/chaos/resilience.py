@@ -1,0 +1,180 @@
+"""Runtime resilience: occupancy watermarks, degraded mode, admission.
+
+The serve batch scheduler consults two host-side objects at every batch
+boundary:
+
+* :class:`ResilienceMonitor` — a NORMAL ↔ DEGRADED state machine over
+  *pressure* (the worst of WPQ occupancy across NVM controllers and
+  SBRP persist-buffer occupancy across SMs).  Hysteresis: enter at
+  ``high_watermark``, exit at ``low_watermark``.  Entries/exits and the
+  current mode are visible in the metrics snapshot.
+* :class:`AdmissionController` — in degraded mode, batches are *shed*
+  to the less congested persist path (WPQ pressured → buffered/undo
+  path, PB pressured → direct/redo path) and *throttled* into split
+  launches; above ``reject_watermark`` the batch is rejected with a
+  bounded client backoff, re-probing occupancy at the deferred instant
+  (the WPQ drains on its own timeline, so a future probe can pass).
+  After ``max_rejects`` rejections the typed
+  :class:`~repro.common.errors.DegradedModeError` escapes — shed load
+  is always visible, never a silent drop.
+
+Everything here is deterministic: pressure is a pure function of
+simulator state and probe time, so soak reports stay byte-identical
+across worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.config import ResilienceConfig
+from repro.common.errors import DegradedModeError
+from repro.metrics.registry import NULL_METRICS, MetricsRegistry
+from repro.serve.txn import POLICY_FORCED_DIRECT, POLICY_FORCED_PB
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.system import GPUSystem
+
+MODE_NORMAL = "normal"
+MODE_DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class Pressure:
+    """One occupancy probe (fractions of capacity, in ``[0, 1]``)."""
+
+    wpq: float
+    pb: float
+
+    @property
+    def worst(self) -> float:
+        return max(self.wpq, self.pb)
+
+
+def system_pressure(system: "GPUSystem", now: float) -> Pressure:
+    """Probe *system*'s persist-path occupancy at *now* (non-mutating)."""
+    wpq = system.gpu.subsystem.wpq_occupancy(now)
+    pb = 0.0
+    # Only SBRP exposes per-SM persist buffers; GPM/Epoch probe as 0.
+    states = getattr(system.gpu.model, "states", None)
+    if states:
+        for state in states.values():
+            pbuf = getattr(state, "pb", None)
+            if pbuf is not None and pbuf.capacity:
+                pb = max(pb, pbuf.live_count() / pbuf.capacity)
+    return Pressure(wpq=wpq, pb=pb)
+
+
+class ResilienceMonitor:
+    """The NORMAL ↔ DEGRADED watermark state machine (host-side)."""
+
+    def __init__(
+        self,
+        config: ResilienceConfig,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
+        self.config = config
+        self.metrics = metrics
+        self.mode = MODE_NORMAL
+        self.entries = 0
+        self.exits = 0
+        self.last = Pressure(0.0, 0.0)
+
+    def observe(self, pressure: Pressure) -> str:
+        """Feed one probe; return the (possibly updated) mode."""
+        if not self.config.enabled:
+            return self.mode
+        self.last = pressure
+        if self.mode == MODE_NORMAL and pressure.worst >= self.config.high_watermark:
+            self.mode = MODE_DEGRADED
+            self.entries += 1
+            if self.metrics.enabled:
+                self.metrics.inc("resilience.degraded_entries")
+                self.metrics.gauge("resilience.mode", 1.0)
+        elif self.mode == MODE_DEGRADED and pressure.worst <= self.config.low_watermark:
+            self.mode = MODE_NORMAL
+            self.exits += 1
+            if self.metrics.enabled:
+                self.metrics.inc("resilience.degraded_exits")
+                self.metrics.gauge("resilience.mode", 0.0)
+        return self.mode
+
+    def observe_system(self, system: "GPUSystem", now: float) -> str:
+        """Probe *system* at *now* and feed the result."""
+        return self.observe(system_pressure(system, now))
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One batch's admission decision."""
+
+    #: Path-policy override for the batch (None = planned policy).
+    policy: Optional[str]
+    #: Launch split factor (1 = single group-commit launch).
+    split: int
+    #: Client backoff charged to the open-loop clock before admission.
+    deferred_cycles: float
+    #: Rejections absorbed before this admission.
+    rejected: int
+
+
+class AdmissionController:
+    """Backpressure and graceful degradation at the batch boundary."""
+
+    def __init__(
+        self,
+        config: ResilienceConfig,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
+        self.config = config
+        self.metrics = metrics
+        self.sheds = 0
+        self.throttles = 0
+        self.rejects = 0
+
+    def admit(
+        self,
+        system: "GPUSystem",
+        monitor: ResilienceMonitor,
+        now: float,
+    ) -> Admission:
+        """Decide how (whether) to run the next batch.
+
+        Raises :class:`DegradedModeError` once the bounded reject
+        backoff fails to find acceptable pressure.
+        """
+        pressure = system_pressure(system, now)
+        mode = monitor.observe(pressure)
+        if not self.config.enabled or mode == MODE_NORMAL:
+            return Admission(policy=None, split=1, deferred_cycles=0.0, rejected=0)
+        cfg = self.config
+        deferred = 0.0
+        rejected = 0
+        while pressure.worst >= cfg.reject_watermark:
+            rejected += 1
+            self.rejects += 1
+            if self.metrics.enabled:
+                self.metrics.inc("resilience.rejects")
+            if rejected > cfg.max_rejects:
+                raise DegradedModeError(
+                    f"batch admission rejected {rejected} times at pressure "
+                    f"{pressure.worst:.2f} (reject watermark "
+                    f"{cfg.reject_watermark:g}); shedding load"
+                )
+            deferred += cfg.reject_backoff_cycles
+            pressure = system_pressure(system, now + deferred)
+        # Shed to the less congested path: a loaded WPQ punishes the
+        # direct path's dfence write-throughs, a loaded persist buffer
+        # punishes buffered undo logging.
+        policy = (
+            POLICY_FORCED_DIRECT if pressure.pb > pressure.wpq else POLICY_FORCED_PB
+        )
+        self.sheds += 1
+        self.throttles += 1
+        if self.metrics.enabled:
+            self.metrics.inc("resilience.shed_batches")
+            self.metrics.inc("resilience.throttled_batches")
+        return Admission(
+            policy=policy, split=2, deferred_cycles=deferred, rejected=rejected
+        )

@@ -1,0 +1,151 @@
+"""Chronic fault timelines: scheduled degradation windows.
+
+A :class:`TimelinePlan` is a :class:`~repro.faults.plans.FaultPlan`
+(kind ``"timeline"``) whose payload is a sequence of
+:class:`FaultWindow`\\ s — half-open ``[start, end)`` intervals of
+*soak-chain* time during which one chronic fault process is active:
+
+* ``brownout`` — NVM drain bandwidth is multiplied by ``intensity``
+  (in ``(0, 1]``); overlapping brownouts compound;
+* ``burst`` — every ``every``-th persist issued inside the window
+  suffers ``intensity`` consecutive transient write failures, each
+  retried on the active :class:`~repro.common.retry.RetryPolicy`
+  (escalating to ``FaultInjectionError`` past the retry budget);
+* ``ack_storm`` — acknowledgements that would land inside the window
+  are deferred until ``intensity`` cycles after it closes (a finite,
+  survivable cousin of :class:`~repro.faults.plans.AckLossPlan`);
+* ``wpq_squeeze`` — WPQ capacity is clamped to ``intensity`` entries.
+
+Timelines *compose* with the existing point plans: ``base`` may carry
+any non-timeline plan's JSON payload, and the chronic injector applies
+it alongside the windows (e.g. torn persists at crash under a brownout).
+
+Window times are global soak-chain cycles: the chronic injector adds
+each rebooted machine's ``time_offset``, so one pinned schedule spans a
+whole crash→recover→crash chain deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.faults.plans import EXPECT_CONSISTENT, FaultPlan, register_plan
+
+WINDOW_BROWNOUT = "brownout"
+WINDOW_BURST = "burst"
+WINDOW_ACK_STORM = "ack_storm"
+WINDOW_WPQ_SQUEEZE = "wpq_squeeze"
+
+WINDOW_KINDS = (
+    WINDOW_BROWNOUT,
+    WINDOW_BURST,
+    WINDOW_ACK_STORM,
+    WINDOW_WPQ_SQUEEZE,
+)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One chronic fault process, active over ``[start, end)`` cycles."""
+
+    kind: str
+    start: float
+    end: float
+    #: Kind-specific magnitude — see the module docstring.
+    intensity: float = 1.0
+    #: ``burst`` only: every Nth persist inside the window is hit.
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in WINDOW_KINDS:
+            raise ConfigError(
+                f"unknown fault-window kind {self.kind!r}; have {WINDOW_KINDS}"
+            )
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigError(
+                f"fault window needs 0 <= start < end, got [{self.start}, {self.end})"
+            )
+        if self.every < 1:
+            raise ConfigError("fault window every must be >= 1")
+        if self.kind == WINDOW_BROWNOUT and not 0 < self.intensity <= 1:
+            raise ConfigError("brownout intensity is a bandwidth scale in (0, 1]")
+        if self.kind == WINDOW_BURST and self.intensity < 1:
+            raise ConfigError("burst intensity is a failure count >= 1")
+        if self.kind == WINDOW_ACK_STORM and self.intensity < 0:
+            raise ConfigError("ack_storm intensity (post-window cycles) must be >= 0")
+        if self.kind == WINDOW_WPQ_SQUEEZE and self.intensity < 1:
+            raise ConfigError("wpq_squeeze intensity is an entry clamp >= 1")
+
+    def contains(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@register_plan
+@dataclass(frozen=True)
+class TimelinePlan(FaultPlan):
+    """A schedule of chronic fault windows, optionally over a base plan."""
+
+    kind: ClassVar[str] = "timeline"
+
+    expect: str = EXPECT_CONSISTENT
+    windows: Tuple[FaultWindow, ...] = ()
+    #: Seeds any per-event randomness (reserved; windows are currently
+    #: fully deterministic functions of time and persist sequence).
+    seed: int = 11
+    #: JSON payload of a composed point plan (any non-timeline kind),
+    #: interpreted alongside the windows.  None = windows only.
+    base: Optional[Dict[str, Any]] = None
+    #: Transient-failure retry budget when no resilience layer is
+    #: attached (the device-level default), and its linear backoff step.
+    device_max_retries: int = 5
+    device_backoff_cycles: float = 400.0
+
+    def __post_init__(self) -> None:
+        # from_json rebuilds via cls(**payload): coerce plain dicts
+        # (asdict output) back into FaultWindow / plan-payload form
+        # before the base validation hook runs.
+        coerced = tuple(
+            w if isinstance(w, FaultWindow) else FaultWindow(**w)
+            for w in self.windows
+        )
+        object.__setattr__(self, "windows", coerced)
+        base = self.base
+        if base is not None and not isinstance(base, dict):
+            base = base.to_json() if hasattr(base, "to_json") else dict(base)
+            object.__setattr__(self, "base", base)
+        super().__post_init__()
+
+    def validate(self) -> None:
+        if self.device_max_retries < 0:
+            raise ConfigError("timeline device_max_retries must be >= 0")
+        if self.device_backoff_cycles <= 0:
+            raise ConfigError("timeline device_backoff_cycles must be positive")
+        if self.base is not None:
+            if self.base.get("kind") == self.kind:
+                raise ConfigError("timeline plans do not nest")
+            self.base_plan()  # rejects malformed payloads eagerly
+
+    def base_plan(self) -> Optional[FaultPlan]:
+        """The composed point plan, or None."""
+        return None if self.base is None else FaultPlan.from_json(self.base)
+
+    def to_json(self) -> Dict[str, Any]:
+        # asdict keeps the windows tuple; emit a list so the payload is
+        # stable through a real JSON round-trip (tuples load as lists).
+        payload = super().to_json()
+        payload["windows"] = list(payload["windows"])
+        return payload
+
+    @property
+    def label(self) -> str:
+        kinds = sorted({w.kind for w in self.windows})
+        name = f"{self.kind}:{'+'.join(kinds) if kinds else 'empty'}"
+        if self.base is not None:
+            name += f"+{self.base['kind']}"
+        return name
+
+    def horizon(self) -> float:
+        """The last window's closing time (0.0 for an empty schedule)."""
+        return max((w.end for w in self.windows), default=0.0)

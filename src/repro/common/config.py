@@ -28,6 +28,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from repro.common.errors import ConfigError
+from repro.common.retry import SCHEDULE_EXPONENTIAL, RetryPolicy
 from repro.common.units import ns_to_cycles
 
 
@@ -202,6 +203,58 @@ class SBRPConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Runtime resilience knobs (chaos subsystem, DESIGN §13).
+
+    Disabled by default: a stock simulation behaves exactly as before
+    this config existed.  When enabled, transient NVM errors retry on a
+    bounded exponential-backoff schedule instead of the device-level
+    linear one, and occupancy watermarks drive the serve scheduler's
+    degraded-mode state machine (path shedding → throttling → typed
+    :class:`~repro.common.errors.DegradedModeError` rejections).
+    """
+
+    enabled: bool = False
+    #: Transient-error retry budget (beyond the device default of 5).
+    max_retries: int = 8
+    backoff_base_cycles: float = 200.0
+    backoff_mult: float = 2.0
+    backoff_cap_cycles: float = 3200.0
+    #: Occupancy fraction (WPQ or persist buffer) entering degraded mode.
+    #: Acceptance backpressure keeps WPQ occupancy at or below 1.0, so
+    #: watermarks are fractions of capacity.
+    high_watermark: float = 0.6
+    #: Occupancy fraction at which degraded mode exits (hysteresis).
+    low_watermark: float = 0.2
+    #: Occupancy fraction above which new batches are rejected outright.
+    reject_watermark: float = 0.97
+    #: Client backoff charged per rejection before re-probing occupancy.
+    reject_backoff_cycles: float = 2000.0
+    #: Rejections tolerated per batch before DegradedModeError escapes.
+    max_rejects: int = 8
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            base_cycles=self.backoff_base_cycles,
+            mult=self.backoff_mult,
+            cap_cycles=self.backoff_cap_cycles,
+            schedule=SCHEDULE_EXPONENTIAL,
+        )
+
+    def validate(self) -> None:
+        if self.max_retries < 0 or self.max_rejects < 0:
+            raise ConfigError("resilience budgets must be non-negative")
+        if self.high_watermark <= self.low_watermark:
+            raise ConfigError("high_watermark must exceed low_watermark")
+        if self.reject_watermark < self.high_watermark:
+            raise ConfigError("reject_watermark must be >= high_watermark")
+        if self.reject_backoff_cycles <= 0:
+            raise ConfigError("reject_backoff_cycles must be positive")
+        self.retry_policy()  # validates the backoff fields
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete configuration of one simulated scenario."""
 
@@ -210,11 +263,13 @@ class SystemConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     sbrp: SBRPConfig = field(default_factory=SBRPConfig)
     seed: int = 0
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def validate(self) -> "SystemConfig":
         self.gpu.validate()
         self.memory.validate()
         self.sbrp.validate()
+        self.resilience.validate()
         return self
 
     @property
@@ -249,12 +304,14 @@ class SystemConfig:
         memory["placement"] = PMPlacement(memory["placement"])
         sbrp = dict(data["sbrp"])
         sbrp["drain_policy"] = DrainPolicy(sbrp["drain_policy"])
+        resilience = ResilienceConfig(**data.get("resilience", {}))
         return SystemConfig(
             model=ModelName(data["model"]),
             gpu=GPUConfig(**data["gpu"]),
             memory=MemoryConfig(**memory),
             sbrp=SBRPConfig(**sbrp),
             seed=data.get("seed", 0),
+            resilience=resilience,
         ).validate()
 
     def cache_key(self) -> str:

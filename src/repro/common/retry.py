@@ -1,0 +1,82 @@
+"""Deterministic retry-backoff policies.
+
+A :class:`RetryPolicy` is the promoted form of what used to be an ad-hoc
+``retry_delay`` formula on :class:`~repro.faults.plans.NVMTransientPlan`:
+a frozen, jitter-free description of how long each retry of a failed
+operation waits before the next attempt.  Jitter-free matters — every
+delay is a pure function of the attempt number, so two runs of the same
+scenario inject byte-identical timing and campaign/soak reports stay
+byte-identical across worker counts.
+
+Two schedules:
+
+* ``linear`` — attempt *k* waits ``base_cycles * k`` (the legacy
+  device-level schedule; its total over *n* failures is the arithmetic
+  series ``base * n(n+1)/2`` that ``NVMTransientPlan.retry_delay`` has
+  always reported);
+* ``exponential`` — attempt *k* waits ``base_cycles * mult**(k-1)``,
+  capped at ``cap_cycles`` (the resilience layer's bounded
+  retry-with-exponential-backoff).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+SCHEDULE_LINEAR = "linear"
+SCHEDULE_EXPONENTIAL = "exponential"
+
+SCHEDULES = (SCHEDULE_LINEAR, SCHEDULE_EXPONENTIAL)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded, deterministic retry schedule (delays in cycles)."""
+
+    #: Failures beyond this budget escalate instead of retrying.
+    max_retries: int = 5
+    base_cycles: float = 400.0
+    #: Exponential growth factor (ignored by the linear schedule).
+    mult: float = 2.0
+    #: Per-attempt delay ceiling (``inf`` = uncapped).
+    cap_cycles: float = float("inf")
+    schedule: str = SCHEDULE_LINEAR
+
+    def __post_init__(self) -> None:
+        if self.schedule not in SCHEDULES:
+            raise ConfigError(
+                f"unknown retry schedule {self.schedule!r}; have {SCHEDULES}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError("retry max_retries must be non-negative")
+        if self.base_cycles <= 0:
+            raise ConfigError("retry base_cycles must be positive")
+        if self.mult < 1:
+            raise ConfigError("retry mult must be at least 1")
+        if self.cap_cycles <= 0:
+            raise ConfigError("retry cap_cycles must be positive")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry *attempt* (1-based)."""
+        if attempt < 1:
+            raise ConfigError("retry attempts are 1-based")
+        if self.schedule == SCHEDULE_LINEAR:
+            raw = self.base_cycles * attempt
+        else:
+            raw = self.base_cycles * self.mult ** (attempt - 1)
+        return min(raw, self.cap_cycles)
+
+    def total_delay(self, fails: int) -> float:
+        """Added latency when *fails* consecutive failures all retry."""
+        if fails <= 0:
+            return 0.0
+        if self.schedule == SCHEDULE_LINEAR and self.cap_cycles == float("inf"):
+            # Closed form keeps the legacy device-level value bit-exact.
+            return self.base_cycles * fails * (fails + 1) / 2
+        return float(sum(self.delay(a) for a in range(1, fails + 1)))
+
+    def exhausted(self, fails: int) -> bool:
+        """True when *fails* failures exceed the retry budget."""
+        return fails > self.max_retries

@@ -18,9 +18,19 @@ Submission semantics:
 
 from __future__ import annotations
 
+import argparse
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import ScenarioJob
@@ -80,6 +90,45 @@ def error_class(outcome: JobOutcome) -> Optional[str]:
     return None
 
 
+def add_pool_args(parser: argparse.ArgumentParser) -> None:
+    """Install the worker-pool retry knobs shared by the CLI drivers."""
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job timeout in seconds (parallel mode only)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retry budget for crashed/timed-out jobs (default: 1)",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        help="base retry backoff in seconds, doubling per attempt "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
+        "--retry-errors",
+        action="store_true",
+        help="also retry jobs that failed with a clean exception "
+        "(deterministic here, so off by default)",
+    )
+
+
+def pool_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """Executor keyword arguments from :func:`add_pool_args` options."""
+    return dict(
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        retry_errors=args.retry_errors,
+    )
+
+
 @dataclass
 class ExecStats:
     """Counters for one Executor's lifetime."""
@@ -90,6 +139,7 @@ class ExecStats:
     cache_hits: int = 0
     executed: int = 0
     failed: int = 0
+    retries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -99,12 +149,15 @@ class ExecStats:
         return 1.0 - self.executed / self.submitted
 
     def summary(self) -> str:
-        return (
+        line = (
             f"{self.submitted} submitted, {self.executed} executed, "
             f"{self.cache_hits} cache hits, {self.memo_hits} memo hits, "
             f"{self.failed} failed ({100 * self.hit_rate:.0f}% served "
             "without simulation)"
         )
+        if self.retries:
+            line += f", {self.retries} retried"
+        return line
 
 
 class Executor:
@@ -117,6 +170,7 @@ class Executor:
         timeout: Optional[float] = None,
         retries: int = 1,
         backoff: float = 0.5,
+        retry_errors: bool = False,
         progress: Optional[Callable[[PoolEvent], None]] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
@@ -128,6 +182,7 @@ class Executor:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.retry_errors = retry_errors
         self.progress = progress
         self.tracer = tracer
         self.metrics = metrics if metrics is not None else NULL_METRICS
@@ -214,6 +269,8 @@ class Executor:
 
         for i, outcome in outcomes.items():
             job = jobs[i]
+            if outcome.attempts > 1:
+                self.stats.retries += outcome.attempts - 1
             if metered:
                 # Derived from the JobOutcome, which both backends
                 # produce identically for clean runs — snapshots stay
@@ -307,6 +364,7 @@ class Executor:
             timeout=self.timeout,
             retries=self.retries,
             backoff=self.backoff,
+            retry_errors=self.retry_errors,
             progress=self._emit,
             metrics=self.metrics,
         )

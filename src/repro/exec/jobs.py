@@ -43,8 +43,19 @@ MODE_CHECK = "check"
 #: transaction layer and report throughput, latency percentiles, and
 #: worst-case recovery time (see :mod:`repro.serve.runner`).
 MODE_SERVE = "serve"
+#: Chaos soak: drive a serving stream through a chronic fault timeline
+#: with crash→recover→crash chains, the recovery oracle at every
+#: reboot, and a zero-data-loss audit (see :mod:`repro.chaos.runner`).
+MODE_SOAK = "soak"
 
-_MODES = (MODE_SCENARIO, MODE_RECOVERY, MODE_FAULTS, MODE_CHECK, MODE_SERVE)
+_MODES = (
+    MODE_SCENARIO,
+    MODE_RECOVERY,
+    MODE_FAULTS,
+    MODE_CHECK,
+    MODE_SERVE,
+    MODE_SOAK,
+)
 
 _code_fingerprint: Optional[str] = None
 
@@ -92,6 +103,10 @@ class ScenarioJob:
     #: target model / mutant, see :mod:`repro.check.runner`); required
     #: for — and only valid in — :data:`MODE_CHECK`.
     check: Optional[Mapping[str, Any]] = None
+    #: Soak payload (``timeline`` = serialized TimelinePlan, plus
+    #: ``crash_every_batches`` / ``crash_fraction``); required for —
+    #: and only valid in — :data:`MODE_SOAK`.
+    soak: Optional[Mapping[str, Any]] = None
     #: Run the scenario with the live metrics registry enabled and
     #: attach the unified snapshot to the result.  Metrics runs are
     #: cycle-identical to plain runs, but the flag still feeds the spec
@@ -111,6 +126,11 @@ class ScenarioJob:
             raise ConfigError(
                 "a check payload is required for (and only valid in) "
                 f"mode={MODE_CHECK!r}"
+            )
+        if (self.mode == MODE_SOAK) != (self.soak is not None):
+            raise ConfigError(
+                "a soak payload is required for (and only valid in) "
+                f"mode={MODE_SOAK!r}"
             )
 
     # ------------------------------------------------------------------
@@ -134,6 +154,8 @@ class ScenarioJob:
             spec["fault"] = dict(self.fault)
         if self.check is not None:
             spec["check"] = dict(self.check)
+        if self.soak is not None:
+            spec["soak"] = dict(self.soak)
         if self.metrics:
             spec["metrics"] = True
         return spec
@@ -162,6 +184,11 @@ class ScenarioJob:
             name += f"[{self.fault['kind']}]"
         if self.check is not None and self.check.get("mutant"):
             name += f"[{self.check['mutant']}]"
+        if self.soak is not None:
+            timeline = self.soak.get("timeline") or {}
+            kinds = sorted({w["kind"] for w in timeline.get("windows", ())})
+            if kinds:
+                name += f"[{'+'.join(kinds)}]"
         if self.trace_tag:
             name += f"[{self.trace_tag}]"
         return name
@@ -181,6 +208,7 @@ class ScenarioJob:
             "trace_tag": self.trace_tag,
             "fault": dict(self.fault) if self.fault is not None else None,
             "check": dict(self.check) if self.check is not None else None,
+            "soak": dict(self.soak) if self.soak is not None else None,
             "metrics": self.metrics,
         }
 
@@ -197,6 +225,7 @@ class ScenarioJob:
             trace_tag=data.get("trace_tag"),
             fault=data.get("fault"),
             check=data.get("check"),
+            soak=data.get("soak"),
             metrics=data.get("metrics", False),
         )
 
@@ -223,6 +252,13 @@ class ScenarioJob:
 
             return run_serve_scenario(
                 self.app, self.config, dict(self.app_params)
+            )
+        if self.mode == MODE_SOAK:
+            from repro.chaos.runner import run_soak_scenario
+
+            assert self.soak is not None  # enforced by __post_init__
+            return run_soak_scenario(
+                self.app, self.config, dict(self.app_params), dict(self.soak)
             )
         return run_scenario(
             self.app,

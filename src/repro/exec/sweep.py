@@ -35,7 +35,7 @@ from repro.bench.figures import (
 )
 from repro.bench.workloads import APP_ORDER, SCOPED_APPS, WORKLOADS
 from repro.exec.cache import ResultCache, default_cache_dir
-from repro.exec.executor import Executor
+from repro.exec.executor import Executor, add_pool_args, pool_kwargs
 from repro.exec.pool import PoolEvent
 
 #: Driver registry in presentation order.  Figure 7 only covers the
@@ -125,18 +125,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write per-scenario traces here (disables caching of the "
         "traced jobs)",
     )
-    parser.add_argument(
-        "--timeout",
-        type=float,
-        default=None,
-        help="per-job timeout in seconds (parallel mode only)",
-    )
-    parser.add_argument(
-        "--retries",
-        type=int,
-        default=1,
-        help="retry budget for crashed/timed-out jobs (default: 1)",
-    )
+    add_pool_args(parser)
     parser.add_argument(
         "--out",
         default=None,
@@ -161,9 +150,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     executor = Executor(
         workers=args.workers,
         cache=cache,
-        timeout=args.timeout,
-        retries=args.retries,
         progress=None if args.quiet else _progress_printer(sys.stderr),
+        **pool_kwargs(args),
     )
 
     started = time.monotonic()

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.config import ModelName, PMPlacement, small_system
 from repro.exec import Executor, ScenarioJob
+from repro.exec.executor import add_pool_args, pool_kwargs
 from repro.exec.jobs import MODE_FAULTS
 from repro.faults.oracles import (
     CONSISTENT,
@@ -528,6 +529,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="restrict the full sweep to these named plans",
     )
     parser.add_argument("--workers", type=int, default=1)
+    add_pool_args(parser)
     parser.add_argument(
         "--cache-dir",
         default=None,
@@ -593,6 +595,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         cache=args.cache_dir,
         progress=None if args.quiet else _progress,
+        **pool_kwargs(args),
     )
     results = executor.submit([cell.job() for cell in cells], allow_failures=True)
     for failure in executor.failures:

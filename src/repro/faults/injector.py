@@ -70,8 +70,12 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # NVM write path
     # ------------------------------------------------------------------
-    def persist_delay(self, seq: int) -> float:
-        """Extra cycles before the NVM controller sees persist *seq*."""
+    def persist_delay(self, seq: int, now: float = 0.0) -> float:
+        """Extra cycles before the NVM controller sees persist *seq*.
+
+        *now* is the issue time; point plans ignore it, but chronic
+        timeline injectors use it to decide which fault windows apply.
+        """
         plan = self.plan
         if not isinstance(plan, NVMTransientPlan):
             return 0.0
@@ -171,6 +175,22 @@ class FaultInjector:
         return replace(record, words={a: record.words[a] for a in kept})
 
 
-def build_injector(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
-    """A fresh injector for *plan*, or None for fault-free runs."""
-    return None if plan is None else FaultInjector(plan)
+def build_injector(
+    plan: Optional[FaultPlan],
+    resilience: "Optional[object]" = None,
+    time_offset: float = 0.0,
+) -> Optional[FaultInjector]:
+    """A fresh injector for *plan*, or None for fault-free runs.
+
+    Timeline plans (the chaos subsystem's chronic fault schedules) get a
+    :class:`~repro.chaos.injector.ChronicInjector`, optionally wired to a
+    :class:`~repro.common.config.ResilienceConfig` retry policy and a
+    global *time_offset* (machine-local time → soak-chain time).
+    """
+    if plan is None:
+        return None
+    if plan.kind == "timeline":
+        from repro.chaos.injector import ChronicInjector
+
+        return ChronicInjector(plan, resilience=resilience, time_offset=time_offset)
+    return FaultInjector(plan)

@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass, fields
 from typing import Any, ClassVar, Dict, Mapping, Type
 
 from repro.common.errors import ConfigError
+from repro.common.retry import SCHEDULE_LINEAR, RetryPolicy
 
 EXPECT_CONSISTENT = "consistent"
 EXPECT_INCONSISTENT = "inconsistent"
@@ -91,6 +92,12 @@ class FaultPlan:
         payload = dict(data)
         kind = payload.pop("kind", None)
         cls = PLAN_KINDS.get(kind)
+        if cls is None and kind == "timeline":
+            # The chronic-fault timeline plan lives in the chaos package;
+            # importing it registers the kind (lazy to avoid a cycle).
+            from repro.chaos import timeline as _timeline  # noqa: F401
+
+            cls = PLAN_KINDS.get(kind)
         if cls is None:
             raise ConfigError(
                 f"unknown fault-plan kind {kind!r}; have {sorted(PLAN_KINDS)}"
@@ -271,6 +278,15 @@ class NVMTransientPlan(FaultPlan):
         return self.kind
 
     @property
+    def retry_policy(self) -> RetryPolicy:
+        """The device-level linear backoff schedule as a policy object."""
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            base_cycles=self.backoff_cycles,
+            schedule=SCHEDULE_LINEAR,
+        )
+
+    @property
     def retry_delay(self) -> float:
         """Added acceptance latency when the retries succeed."""
-        return self.backoff_cycles * self.fails * (self.fails + 1) / 2
+        return self.retry_policy.total_delay(self.fails)

@@ -104,6 +104,9 @@ class NVMController:
         self.latency = latency
         self.wpq_entries = wpq_entries
         self.stats = stats if stats is not None else StatsRegistry()
+        # Optional chronic-fault process (repro.chaos): scales drain
+        # bandwidth and clamps WPQ capacity inside scheduled windows.
+        self.throttle = None
         # Drain-end times of writes currently considered in the WPQ; a new
         # write is accepted once a slot is free.
         self._wpq: Deque[float] = deque()
@@ -122,15 +125,22 @@ class NVMController:
         """
         while self._wpq and self._wpq[0] <= now:
             self._wpq.popleft()
-        if len(self._wpq) >= self.wpq_entries:
-            accept = self._wpq[len(self._wpq) - self.wpq_entries]
+        entries = self.wpq_entries
+        bytes_per_cycle = self.write_bytes_per_cycle
+        if self.throttle is not None:
+            bytes_per_cycle *= self.throttle.nvm_scale_at(now)
+            limit = self.throttle.wpq_limit_at(now)
+            if limit:
+                entries = max(1, min(entries, limit))
+        if len(self._wpq) >= entries:
+            accept = self._wpq[len(self._wpq) - entries]
             self.stats.add(f"{self.name}.wpq_stall_cycles", accept - now)
             if self.metrics.enabled:
                 self.metrics.inc("nvm.wpq_stalls")
                 self.metrics.observe("nvm.wpq_stall_cycles", accept - now)
         else:
             accept = now
-        drain = nbytes / self.write_bytes_per_cycle
+        drain = nbytes / bytes_per_cycle
         drain_end = max(accept, self._last_drain_end) + drain
         self._last_drain_end = drain_end
         self._wpq.append(drain_end)
@@ -142,6 +152,17 @@ class NVMController:
             self.tracer.span(self.name, "write", accept, drain_end)
             self.tracer.counter(self.name, "wpq", now, float(len(self._wpq)))
         return accept
+
+    def occupancy(self, now: float) -> float:
+        """Fraction of WPQ capacity still draining at *now*.
+
+        Non-mutating (safe to probe future instants for admission
+        backoff).  Acceptance backpressure keeps this at or below 1.0
+        in steady state — sustained values near 1.0 are the congestion
+        signal the resilience watermarks key off.
+        """
+        pending = sum(1 for end in self._wpq if end > now)
+        return pending / self.wpq_entries
 
     def reset(self) -> None:
         self.read_channel.reset()

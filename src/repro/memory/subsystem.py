@@ -146,6 +146,12 @@ class MemorySubsystem:
         )
         self.persist_log = PersistLog()
         self._persist_seq = 0
+        # Chronic fault processes (repro.chaos) throttle the controllers
+        # directly: brownout windows scale drain bandwidth, squeeze
+        # windows clamp WPQ capacity.  Duck-typed to avoid the cycle.
+        if faults is not None and getattr(faults, "is_chronic", False):
+            for controller in self.nvm:
+                controller.throttle = faults
 
     # ------------------------------------------------------------------
     # routing helpers
@@ -219,7 +225,7 @@ class MemorySubsystem:
         self._persist_seq += 1
         seq = self._persist_seq
         injected = self.faults is not None and self.faults.active
-        delay = self.faults.persist_delay(seq) if injected else 0.0
+        delay = self.faults.persist_delay(seq, now=now) if injected else 0.0
         after_l2 = now + self.gpu.l2_latency
         self.l2.access(line_addr, now)
         part = self._partition(line_addr)
@@ -251,6 +257,10 @@ class MemorySubsystem:
             if math.isfinite(ack):
                 self.metrics.observe("persist.ack_latency", ack - accept)
         return WriteAck(accept_time=accept, ack_time=ack)
+
+    def wpq_occupancy(self, now: float) -> float:
+        """Worst-case WPQ occupancy fraction across NVM controllers."""
+        return max(controller.occupancy(now) for controller in self.nvm)
 
     # ------------------------------------------------------------------
     # crash support

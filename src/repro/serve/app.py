@@ -188,7 +188,7 @@ class ServeKVS(App):
     # ------------------------------------------------------------------
     # per-batch host-side request arrays
     # ------------------------------------------------------------------
-    def _batch_stages(self, batch: Batch):
+    def _batch_stages(self, batch: Batch, policy: "str | None" = None):
         """A batch's launches: one kernel covering all its lanes.
 
         The batch's size sort (:func:`~repro.serve.workload
@@ -198,13 +198,17 @@ class ServeKVS(App):
         persist path — a write-through warp's dfence drains its own
         SM's records, not another path's buffered bulk (the persist
         buffer and its FIFO are per-SM).
+
+        *policy* overrides the configured persist-path policy for this
+        batch only (degraded-mode path shedding).
         """
-        return [("", self._lane_arrays(list(batch.requests), batch))]
+        return [("", self._lane_arrays(list(batch.requests), batch, policy))]
 
     def _lane_arrays(
-        self, requests, batch: Batch
+        self, requests, batch: Batch, policy: "str | None" = None
     ) -> Dict[str, np.ndarray]:
         p = self.params
+        path_policy = policy if policy is not None else p.policy
         n = len(requests)
         arr = {
             "n": n,
@@ -236,7 +240,7 @@ class ServeKVS(App):
             arr["write"][i] = req.is_applying_write
             if req.is_applying_write:
                 arr["direct"][i] = (
-                    select_path(p.policy, req.payload, p.threshold_words)
+                    select_path(path_policy, req.payload, p.threshold_words)
                     == PATH_DIRECT
                 )
                 # Version-aware logical undo: the layer tracks committed
@@ -308,13 +312,15 @@ class ServeKVS(App):
                         old_p,
                         mask=m,
                     )
-                    acc = acc ^ np.where(m, old_p, 0)
-            # ``2*acc + 1`` keeps a live seal distinct from the cleared
-            # state without sacrificing checksum bits: an epoch barrier
-            # flushes record lines concurrently, so a crash mid-barrier
-            # can persist the seal before the payload words — whose xor
-            # for consecutive values is exactly the low bit an ``| 1``
-            # encoding would mask.
+                    acc = acc + np.where(m, (old_p + 1) * (i + 2), 0)
+            # Payload words enter the checksum position-weighted, not
+            # XORed: the record lines flush concurrently (no ordering
+            # inside the record), and a run of consecutive payload
+            # values XORs to zero — the same as no payload at all — so
+            # a crash that persists the seal before any payload word
+            # would validate a hollow record.  A weighted sum shifts
+            # under every missing or torn subset.  ``2*acc + 1`` keeps
+            # a live seal distinct from the cleared state.
             yield w.st(self.ulog_seal.base + 4 * w.tid, 2 * acc + 1, mask=pb)
 
         # Direct path: flagged redo record of the new row (no old reads).
@@ -331,7 +337,7 @@ class ServeKVS(App):
                         newv + 1 + i,
                         mask=m,
                     )
-                    facc = facc ^ np.where(m, newv + 1 + i, 0)
+                    facc = facc + np.where(m, (newv + 2 + i) * (i + 2), 0)
             yield w.st(
                 self.rlog_flag.base + 4 * w.tid, 2 * facc + 1, mask=direct
             )
@@ -393,7 +399,7 @@ class ServeKVS(App):
                 self.ulog_pay.base + 4 * (w.tid * pw + i), mask=m
             )
             u_pay.append(word)
-            acc = acc ^ np.where(m, word, 0)
+            acc = acc + np.where(m, (word + 1) * (i + 2), 0)
         u_valid = active & (u_seal == 2 * acc + 1)
 
         r_slot = yield w.ld(self.rlog_slot.base + 4 * w.tid, mask=active)
@@ -412,7 +418,7 @@ class ServeKVS(App):
                 self.rlog_pay.base + 4 * (w.tid * pw + i), mask=m
             )
             r_pay.append(word)
-            facc = facc ^ np.where(m, word, 0)
+            facc = facc + np.where(m, (word + 1) * (i + 2), 0)
         r_valid = active & (r_flag == 2 * facc + 1)
 
         # Roll back in-flight undo transactions, roll forward flagged
@@ -445,20 +451,73 @@ class ServeKVS(App):
         per_block = system.config.gpu.threads_per_block
         return max(1, -(-threads // per_block))
 
-    def run(self, system: GPUSystem) -> RunOutcome:
+    def _split_lanes(
+        self, arr: Dict[str, np.ndarray], split: int
+    ) -> List[Dict[str, np.ndarray]]:
+        """Slice one stage's lane arrays into up to *split* chunks."""
+        n = arr["n"]
+        parts = max(1, min(int(split), n))
+        if parts == 1:
+            return [arr]
+        bounds = np.linspace(0, n, parts + 1, dtype=int)
+        chunks: List[Dict[str, np.ndarray]] = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if hi == lo:
+                continue
+            chunk: Dict[str, Any] = {"n": int(hi - lo)}
+            for name, value in arr.items():
+                if name != "n":
+                    chunk[name] = value[lo:hi]
+            chunks.append(chunk)
+        return chunks
+
+    def serve_batch(
+        self,
+        system: GPUSystem,
+        index: int,
+        policy: "str | None" = None,
+        split: int = 1,
+    ) -> List[Any]:
+        """Launch batch *index*'s kernels; return their results.
+
+        The resilience layer's two degraded-mode levers hang here:
+        *policy* sheds this batch's writes to one persist path, and
+        *split* throttles the batch into smaller launches, each drained
+        so later chunks can reuse the per-lane log slots (the same
+        drain-boundary argument that makes cross-batch slot reuse
+        safe).  Defaults reproduce the planned single-launch group
+        commit exactly.
+        """
+        if policy is not None and policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; have {POLICIES}")
+        batch = self.plan.batches[index]
+        stages = (
+            self._stages[index]
+            if policy is None
+            else self._batch_stages(batch, policy)
+        )
         results = []
-        for batch, stages in zip(self.plan.batches, self._stages):
-            for pos, (suffix, arr) in enumerate(stages):
+        for pos, (suffix, arr) in enumerate(stages):
+            chunks = self._split_lanes(arr, split)
+            for c, chunk in enumerate(chunks):
+                tag = f"{suffix}.c{c}" if len(chunks) > 1 else suffix
                 results.append(
                     system.launch(
                         self._serve_kernel,
-                        self._grid(system, arr["n"]),
-                        kwargs={"arr": arr},
-                        name=f"serve.batch{batch.index}{suffix}",
-                        # Group commit: the batch's last stage drains.
-                        drain=pos == len(stages) - 1,
+                        self._grid(system, chunk["n"]),
+                        kwargs={"arr": chunk},
+                        name=f"serve.batch{batch.index}{tag}",
+                        # Group commit: the batch's last stage drains;
+                        # throttled chunks each drain (slot reuse).
+                        drain=len(chunks) > 1 or pos == len(stages) - 1,
                     )
                 )
+        return results
+
+    def run(self, system: GPUSystem) -> RunOutcome:
+        results = []
+        for index in range(len(self.plan.batches)):
+            results.extend(self.serve_batch(system, index))
         return RunOutcome(results)
 
     def recover(self, system: GPUSystem) -> RunOutcome:

@@ -1,0 +1,198 @@
+"""The resilience layer: retry policies, the watermark state machine,
+and batch admission (shed / throttle / reject)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chaos.resilience import (
+    MODE_DEGRADED,
+    MODE_NORMAL,
+    AdmissionController,
+    Pressure,
+    ResilienceMonitor,
+    system_pressure,
+)
+from repro.common.config import ModelName, ResilienceConfig, small_system
+from repro.common.errors import ConfigError, DegradedModeError
+from repro.common.retry import SCHEDULE_EXPONENTIAL, RetryPolicy
+from repro.faults.plans import NVMTransientPlan
+from repro.serve.txn import POLICY_FORCED_DIRECT, POLICY_FORCED_PB
+from repro.system import GPUSystem
+
+
+class TestRetryPolicy:
+    def test_linear_matches_legacy_formula(self):
+        plan = NVMTransientPlan(fails=4)
+        policy = plan.retry_policy
+        legacy = plan.backoff_cycles * plan.fails * (plan.fails + 1) / 2
+        assert policy.total_delay(plan.fails) == legacy == plan.retry_delay
+
+    def test_linear_delays_grow_arithmetically(self):
+        policy = RetryPolicy(base_cycles=400.0)
+        assert [policy.delay(a) for a in (1, 2, 3)] == [400.0, 800.0, 1200.0]
+
+    def test_exponential_delays_are_capped(self):
+        policy = ResilienceConfig(enabled=True).retry_policy()
+        assert policy.schedule == SCHEDULE_EXPONENTIAL
+        assert [policy.delay(a) for a in (1, 2, 3)] == [200.0, 400.0, 800.0]
+        assert policy.delay(6) == 3200.0  # 200 * 2**5 = 6400, capped
+        assert policy.total_delay(7) == 200 + 400 + 800 + 1600 + 3 * 3200
+
+    def test_zero_fails_cost_nothing(self):
+        assert RetryPolicy().total_delay(0) == 0.0
+
+    def test_exhausted_boundary(self):
+        policy = RetryPolicy(max_retries=5)
+        assert not policy.exhausted(5)
+        assert policy.exhausted(6)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(schedule="fibonacci"),
+            dict(max_retries=-1),
+            dict(base_cycles=0.0),
+            dict(mult=0.5),
+            dict(cap_cycles=0.0),
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy().delay(0)
+
+
+class TestResilienceConfig:
+    def test_defaults_validate_and_stay_disabled(self):
+        config = ResilienceConfig()
+        config.validate()
+        assert not config.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(high_watermark=0.2, low_watermark=0.2),
+            dict(reject_watermark=0.5),
+            dict(reject_backoff_cycles=0.0),
+            dict(max_rejects=-1),
+            dict(backoff_mult=0.0),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(**kwargs).validate()
+
+
+class TestResilienceMonitor:
+    def test_hysteresis_entry_and_exit(self):
+        monitor = ResilienceMonitor(ResilienceConfig(enabled=True))
+        assert monitor.observe(Pressure(wpq=0.5, pb=0.0)) == MODE_NORMAL
+        assert monitor.observe(Pressure(wpq=0.6, pb=0.0)) == MODE_DEGRADED
+        # Between the watermarks the mode sticks (no flapping).
+        assert monitor.observe(Pressure(wpq=0.4, pb=0.0)) == MODE_DEGRADED
+        assert monitor.observe(Pressure(wpq=0.2, pb=0.0)) == MODE_NORMAL
+        assert monitor.entries == 1
+        assert monitor.exits == 1
+
+    def test_worst_of_both_paths_governs(self):
+        monitor = ResilienceMonitor(ResilienceConfig(enabled=True))
+        assert monitor.observe(Pressure(wpq=0.1, pb=0.9)) == MODE_DEGRADED
+
+    def test_disabled_config_never_degrades(self):
+        monitor = ResilienceMonitor(ResilienceConfig(enabled=False))
+        assert monitor.observe(Pressure(wpq=1.0, pb=1.0)) == MODE_NORMAL
+        assert monitor.entries == 0
+
+
+def stub_system(wpq_at, pb_live=0, pb_capacity=0):
+    """A minimal pressure-probe target: WPQ occupancy from *wpq_at*,
+    optionally one SBRP-style persist buffer at a fixed fill."""
+    model = SimpleNamespace()
+    if pb_capacity:
+        pbuf = SimpleNamespace(
+            capacity=pb_capacity, live_count=lambda: pb_live
+        )
+        model.states = {0: SimpleNamespace(pb=pbuf)}
+    return SimpleNamespace(
+        gpu=SimpleNamespace(
+            subsystem=SimpleNamespace(wpq_occupancy=wpq_at),
+            model=model,
+        )
+    )
+
+
+class TestAdmissionController:
+    def enabled(self, **kwargs):
+        return ResilienceConfig(enabled=True, **kwargs)
+
+    def test_normal_mode_admits_untouched(self):
+        config = self.enabled()
+        controller = AdmissionController(config)
+        monitor = ResilienceMonitor(config)
+        admission = controller.admit(stub_system(lambda now: 0.1), monitor, 0.0)
+        assert admission == admission.__class__(
+            policy=None, split=1, deferred_cycles=0.0, rejected=0
+        )
+
+    def test_degraded_mode_sheds_and_throttles(self):
+        config = self.enabled()
+        controller = AdmissionController(config)
+        monitor = ResilienceMonitor(config)
+        admission = controller.admit(stub_system(lambda now: 0.7), monitor, 0.0)
+        assert monitor.mode == MODE_DEGRADED
+        # WPQ is the pressured path, so shed to the buffered path.
+        assert admission.policy == POLICY_FORCED_PB
+        assert admission.split == 2
+        assert admission.rejected == 0
+        assert controller.sheds == 1
+        assert controller.throttles == 1
+
+    def test_pb_pressure_sheds_to_direct_path(self):
+        config = self.enabled()
+        controller = AdmissionController(config)
+        monitor = ResilienceMonitor(config)
+        # Persist buffer 8/10 full, WPQ at 0.3: degrade on PB pressure
+        # and shed to the direct path (the PB is the congested one).
+        system = stub_system(lambda now: 0.3, pb_live=8, pb_capacity=10)
+        admission = controller.admit(system, monitor, 0.0)
+        assert monitor.mode == MODE_DEGRADED
+        assert admission.policy == POLICY_FORCED_DIRECT
+
+    def test_reject_defers_until_drained(self):
+        config = self.enabled(reject_backoff_cycles=1000.0)
+        controller = AdmissionController(config)
+        monitor = ResilienceMonitor(config)
+        # Saturated until t=1500, drained after: two rejects then admit.
+        system = stub_system(lambda now: 1.0 if now < 1500.0 else 0.3)
+        admission = controller.admit(system, monitor, 0.0)
+        assert admission.rejected == 2
+        assert admission.deferred_cycles == 2000.0
+        assert admission.split == 2
+        assert controller.rejects == 2
+
+    def test_reject_budget_exhaustion_raises(self):
+        config = self.enabled(max_rejects=3)
+        controller = AdmissionController(config)
+        monitor = ResilienceMonitor(config)
+        system = stub_system(lambda now: 1.0)  # never drains
+        with pytest.raises(DegradedModeError):
+            controller.admit(system, monitor, 0.0)
+        assert controller.rejects == config.max_rejects + 1
+
+
+class TestSystemPressure:
+    def test_idle_system_probes_zero(self):
+        system = GPUSystem(small_system(ModelName.SBRP))
+        pressure = system_pressure(system, system.now)
+        assert pressure == Pressure(wpq=0.0, pb=0.0)
+        assert pressure.worst == 0.0
+
+    def test_probe_does_not_mutate(self):
+        system = GPUSystem(small_system(ModelName.GPM))
+        before = system.now
+        system_pressure(system, before + 5000.0)
+        assert system.now == before

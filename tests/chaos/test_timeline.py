@@ -1,0 +1,205 @@
+"""Fault timelines and the chronic injector: window semantics, JSON
+round-trips, base-plan composition, and the retry-budget teeth."""
+
+import pytest
+
+from repro.chaos.injector import ChronicInjector
+from repro.chaos.timeline import (
+    WINDOW_KINDS,
+    FaultWindow,
+    TimelinePlan,
+)
+from repro.common.config import ResilienceConfig
+from repro.common.errors import ConfigError, FaultInjectionError
+from repro.faults.injector import build_injector
+from repro.faults.plans import FaultPlan, NVMTransientPlan
+
+
+def brownout(start=100.0, end=200.0, intensity=0.25):
+    return FaultWindow("brownout", start, end, intensity=intensity)
+
+
+class TestFaultWindow:
+    def test_contains_is_half_open(self):
+        w = brownout()
+        assert not w.contains(99.9)
+        assert w.contains(100.0)
+        assert w.contains(199.9)
+        assert not w.contains(200.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultWindow("meteor", 0.0, 1.0)
+
+    @pytest.mark.parametrize("start,end", [(-1.0, 5.0), (5.0, 5.0), (5.0, 4.0)])
+    def test_bad_interval_rejected(self, start, end):
+        with pytest.raises(ConfigError):
+            FaultWindow("brownout", start, end, intensity=0.5)
+
+    def test_kind_specific_intensity_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultWindow("brownout", 0.0, 1.0, intensity=1.5)
+        with pytest.raises(ConfigError):
+            FaultWindow("burst", 0.0, 1.0, intensity=0.0)
+        with pytest.raises(ConfigError):
+            FaultWindow("ack_storm", 0.0, 1.0, intensity=-1.0)
+        with pytest.raises(ConfigError):
+            FaultWindow("wpq_squeeze", 0.0, 1.0, intensity=0.5)
+        with pytest.raises(ConfigError):
+            FaultWindow("burst", 0.0, 1.0, intensity=2.0, every=0)
+
+
+class TestTimelinePlan:
+    def test_json_round_trip(self):
+        plan = TimelinePlan(
+            windows=(
+                brownout(),
+                FaultWindow("burst", 50.0, 80.0, intensity=3.0, every=7),
+            )
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert isinstance(clone, TimelinePlan)
+        assert clone == plan
+        assert clone.windows[1].every == 7
+
+    def test_windows_coerce_from_dicts(self):
+        plan = TimelinePlan(
+            windows=(
+                {"kind": "wpq_squeeze", "start": 0.0, "end": 9.0, "intensity": 2.0},
+            )
+        )
+        assert isinstance(plan.windows[0], FaultWindow)
+
+    def test_base_plan_composes(self):
+        base = NVMTransientPlan(fail_every=3, fails=1)
+        plan = TimelinePlan(windows=(brownout(),), base=base.to_json())
+        assert plan.base_plan() == base
+        assert plan.label == "timeline:brownout+nvm_transient"
+
+    def test_timeline_base_does_not_nest(self):
+        inner = TimelinePlan(windows=(brownout(),))
+        with pytest.raises(ConfigError):
+            TimelinePlan(base=inner.to_json())
+
+    def test_label_and_horizon(self):
+        assert TimelinePlan().label == "timeline:empty"
+        assert TimelinePlan().horizon() == 0.0
+        plan = TimelinePlan(
+            windows=(brownout(end=300.0), FaultWindow("burst", 0.0, 50.0))
+        )
+        assert plan.label == "timeline:brownout+burst"
+        assert plan.horizon() == 300.0
+
+    def test_build_injector_dispatches_chronic(self):
+        injector = build_injector(TimelinePlan(windows=(brownout(),)))
+        assert isinstance(injector, ChronicInjector)
+        assert injector.is_chronic
+
+    def test_window_kinds_are_pinned(self):
+        # The CLI and CI key off these names; renames are breaking.
+        assert WINDOW_KINDS == ("brownout", "burst", "ack_storm", "wpq_squeeze")
+
+
+class TestChronicInjector:
+    def test_brownout_scales_only_inside_window(self):
+        inj = ChronicInjector(TimelinePlan(windows=(brownout(intensity=0.5),)))
+        assert inj.nvm_scale_at(50.0) == 1.0
+        assert inj.nvm_scale_at(150.0) == 0.5
+        assert inj.nvm_scale_at(200.0) == 1.0
+
+    def test_overlapping_brownouts_compound(self):
+        inj = ChronicInjector(
+            TimelinePlan(
+                windows=(brownout(intensity=0.5), brownout(intensity=0.2))
+            )
+        )
+        assert inj.nvm_scale_at(150.0) == pytest.approx(0.1)
+
+    def test_squeeze_clamp_and_idle_default(self):
+        inj = ChronicInjector(
+            TimelinePlan(
+                windows=(FaultWindow("wpq_squeeze", 10.0, 20.0, intensity=3.0),)
+            )
+        )
+        assert inj.wpq_limit_at(5.0) == 0
+        assert inj.wpq_limit_at(15.0) == 3
+
+    def test_time_offset_shifts_windows(self):
+        plan = TimelinePlan(windows=(brownout(intensity=0.5),))
+        rebooted = ChronicInjector(plan, time_offset=120.0)
+        # machine-local 30 is global 150: inside the window.
+        assert rebooted.nvm_scale_at(30.0) == 0.5
+        assert rebooted.nvm_scale_at(150.0) == 1.0
+
+    def test_burst_adds_device_retry_delay(self):
+        plan = TimelinePlan(
+            windows=(FaultWindow("burst", 0.0, 100.0, intensity=2.0, every=5),)
+        )
+        inj = ChronicInjector(plan)
+        assert inj.persist_delay(3, now=10.0) == 0.0
+        # 2 failures on the linear device schedule: 400 + 800.
+        assert inj.persist_delay(5, now=10.0) == 1200.0
+        assert inj.counts["nvm_transient_failures"] == 2
+        # Outside the window the same persist is untouched.
+        assert inj.persist_delay(5, now=500.0) == 0.0
+
+    def test_burst_exhausts_device_budget(self):
+        plan = TimelinePlan(
+            windows=(FaultWindow("burst", 0.0, 100.0, intensity=7.0),)
+        )
+        inj = ChronicInjector(plan)
+        with pytest.raises(FaultInjectionError, match="device retry budget"):
+            inj.persist_delay(1, now=10.0)
+        assert inj.counts["nvm_retry_exhausted"] == 1
+
+    def test_resilience_absorbs_the_same_burst(self):
+        plan = TimelinePlan(
+            windows=(FaultWindow("burst", 0.0, 100.0, intensity=7.0),)
+        )
+        policy = ResilienceConfig(enabled=True).retry_policy()
+        inj = ChronicInjector(plan, resilience=ResilienceConfig(enabled=True))
+        assert inj.persist_delay(1, now=10.0) == policy.total_delay(7)
+        assert inj.counts["nvm_retries_absorbed"] == 7
+        assert "nvm_retry_exhausted" not in inj.counts
+
+    def test_disabled_resilience_is_ignored(self):
+        plan = TimelinePlan(
+            windows=(FaultWindow("burst", 0.0, 100.0, intensity=7.0),)
+        )
+        inj = ChronicInjector(plan, resilience=ResilienceConfig(enabled=False))
+        with pytest.raises(FaultInjectionError, match="device retry budget"):
+            inj.persist_delay(1, now=10.0)
+
+    def test_ack_storm_defers_to_window_close(self):
+        plan = TimelinePlan(
+            windows=(FaultWindow("ack_storm", 100.0, 200.0, intensity=50.0),)
+        )
+        inj = ChronicInjector(plan)
+        assert inj.transform_ack(1, 140.0, 150.0) == 250.0
+        assert inj.counts["stormed_acks"] == 1
+        assert inj.transform_ack(2, 290.0, 300.0) == 300.0
+        # Offset machines defer to the same *global* instant.
+        shifted = ChronicInjector(plan, time_offset=120.0)
+        assert shifted.transform_ack(1, 20.0, 30.0) == 130.0
+
+    def test_base_plan_counts_are_shared(self):
+        base = NVMTransientPlan(fail_every=5, fails=1)
+        plan = TimelinePlan(windows=(brownout(),), base=base.to_json())
+        inj = ChronicInjector(plan)
+        delay = inj.persist_delay(5, now=0.0)
+        assert delay == base.retry_delay
+        assert inj.counts["nvm_transient_failures"] == 1
+
+    def test_injection_is_deterministic(self):
+        plan = TimelinePlan(
+            windows=(
+                brownout(),
+                FaultWindow("burst", 0.0, 500.0, intensity=2.0, every=3),
+            )
+        )
+        a = ChronicInjector(plan)
+        b = ChronicInjector(plan)
+        trace_a = [a.persist_delay(seq, now=float(seq)) for seq in range(1, 40)]
+        trace_b = [b.persist_delay(seq, now=float(seq)) for seq in range(1, 40)]
+        assert trace_a == trace_b
+        assert a.counts == b.counts
