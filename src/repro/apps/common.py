@@ -21,7 +21,10 @@ def spin_pacq(w: WarpCtx, addr: int, scope: Scope) -> Generator:
 
         value = yield from spin_pacq(w, flag_addr, Scope.BLOCK)
     """
+    # One PAcq op reused across attempts: the SM only reads its fields,
+    # so re-yielding the same object is identical to rebuilding it.
+    op = w.pacq(addr, scope)
     while True:
-        value = yield w.pacq(addr, scope)
+        value = yield op
         if value != 0:
             return value

@@ -133,35 +133,46 @@ class GpKVS(App):
     # ------------------------------------------------------------------
     def _insert_kernel(self, w, p: GpKVSParams):
         per_round = p.n_pairs // p.rounds
+        # Round-invariant vectors, hoisted out of the loop (value-for-
+        # value identical to computing them fresh each round).
+        tid = w.tid
+        coeff_addr = self.coeff.base + 4 * (tid % p.coeff_words)
+        dir_addr = self.directory.base + 4 * (tid % p.dir_words)
+        in_round = tid < per_round
+        tbl_key_base = self.tbl_key.base
+        tbl_val_base = self.tbl_val.base
+        # Reused op objects: the SM only reads Compute fields.
+        hash_op = w.compute(p.hash_cycles)
+        update_op = w.compute(8)
         for rnd in range(p.rounds):
-            op = w.tid + rnd * per_round  # this round's operation index
-            active = (w.tid < per_round) & (op < p.n_pairs)
+            op = tid + rnd * per_round  # this round's operation index
+            active = in_round & (op < p.n_pairs)
             slot = op % p.capacity
+            slot4 = 4 * slot
+            op4 = 4 * op
             # Hashing re-reads the volatile coefficient table and the
             # PM-resident bucket directory every round: these lines are
             # hot in L1 under SBRP, invalidated by every epoch barrier
             # (and GPM's fence kills the volatile ones too).
-            _c = yield w.ld(self.coeff.base + 4 * (w.tid % p.coeff_words))
-            _d = yield w.ld(
-                self.directory.base + 4 * (w.tid % p.dir_words), mask=active
-            )
-            yield w.compute(p.hash_cycles)
+            _c = yield w.ld(coeff_addr)
+            _d = yield w.ld(dir_addr, mask=active)
+            yield hash_op
             # Probe the neighbourhood (PM reads, warp-coalesced).
             for d in range(p.probe_depth):
                 probe = (slot + d) % p.capacity
-                _keys = yield w.ld(self.tbl_key.base + 4 * probe, mask=active)
-            old_k = yield w.ld(self.tbl_key.base + 4 * slot, mask=active)
-            old_v = yield w.ld(self.tbl_val.base + 4 * slot, mask=active)
+                _keys = yield w.ld(tbl_key_base + 4 * probe, mask=active)
+            old_k = yield w.ld(tbl_key_base + slot4, mask=active)
+            old_v = yield w.ld(tbl_val_base + slot4, mask=active)
             # Lookup-before-update: skip keys the batch already re-keyed
             # (a committed update surviving a crash) - idempotent re-runs.
             todo = active & (old_k != slot + p.capacity)
             # Undo record, sealed.
-            yield w.st(self.log_key.base + 4 * op, old_k, mask=todo)
-            yield w.st(self.log_val.base + 4 * op, old_v, mask=todo)
-            yield w.st(self.log_slot.base + 4 * op, slot, mask=todo)
+            yield w.st(self.log_key.base + op4, old_k, mask=todo)
+            yield w.st(self.log_val.base + op4, old_v, mask=todo)
+            yield w.st(self.log_slot.base + op4, slot, mask=todo)
             if p.seeded_bug != "unsealed_log":
                 yield w.st(
-                    self.log_seal.base + 4 * op,
+                    self.log_seal.base + op4,
                     old_k ^ old_v ^ slot ^ SEAL,
                     mask=todo,
                 )
@@ -170,16 +181,16 @@ class GpKVS(App):
             if p.seeded_bug == "commit_first":
                 # BUG: the commit precedes the update it covers, so a
                 # crash inside the update window finds an invalid record.
-                yield w.st(self.log_seal.base + 4 * op, 0, mask=todo)
+                yield w.st(self.log_seal.base + op4, 0, mask=todo)
             # Overwrite the pair.
-            yield w.compute(8)
-            yield w.st(self.tbl_key.base + 4 * slot, slot + p.capacity, mask=todo)
-            yield w.st(self.tbl_val.base + 4 * slot, new_value(slot), mask=todo)
+            yield update_op
+            yield w.st(tbl_key_base + slot4, slot + p.capacity, mask=todo)
+            yield w.st(tbl_val_base + slot4, new_value(slot), mask=todo)
             yield w.ofence()
             # Commit: clear the seal (same line as the record - the EDM
             # same-line-across-fence pattern).
             if p.seeded_bug != "commit_first":
-                yield w.st(self.log_seal.base + 4 * op, 0, mask=todo)
+                yield w.st(self.log_seal.base + op4, 0, mask=todo)
 
     def _recover_kernel(self, w, p: GpKVSParams):
         active = w.tid < p.n_pairs

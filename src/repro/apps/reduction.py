@@ -107,7 +107,13 @@ class Reduction(App):
 
         me = w.warp_in_block
         seg = self.parr.base + 4 * 32 * gwarp  # this warp's 32 pArr words
-        persisted = yield w.ld(seg + 4 * w.lane)
+        # Warp-invariant lane vectors, hoisted (value-for-value identical
+        # to recomputing them at each yield).
+        lane4 = 4 * w.lane
+        my_words = seg + lane4
+        parr_base = self.parr.base
+        add_op = w.compute(p.add_cycles)  # reused: the SM only reads it
+        persisted = yield w.ld(my_words)
         already_done = int(persisted[0]) != 0
         lanes = np.asarray(persisted, dtype=np.int64)
         if already_done:
@@ -120,11 +126,11 @@ class Reduction(App):
             # Each lane accumulates its per_thread input elements
             # (pArr is per-thread, as in Figure 2).
             lanes = np.zeros(w.warp_size, dtype=np.int64)
+            in_base = self.input.base + 4 * p.per_thread * w.tid
             for j in range(p.per_thread):
-                idx = w.tid * p.per_thread + j
-                vals = yield w.ld(self.input.base + 4 * idx)
+                vals = yield w.ld(in_base + 4 * j)
                 lanes += vals
-                yield w.compute(p.add_cycles)
+                yield add_op
 
             # Reduction tree over the block's warps: the retiring warp
             # persists its 32 lane-partials (one PM line) once; the
@@ -136,16 +142,16 @@ class Reduction(App):
                 half = active_warps // 2
                 if me >= half:
                     # Retire: persist once, release at block scope, exit.
-                    yield w.st(seg + 4 * w.lane, lanes)
+                    yield w.st(my_words, lanes)
                     yield w.prel(my_flag, 1, Scope.BLOCK)
                     return
                 partner = gwarp + half
                 yield from spin_pacq(
                     w, self.wflags.base + 4 * partner, Scope.BLOCK
                 )
-                part = yield w.ld(self.parr.base + 4 * 32 * partner + 4 * w.lane)
+                part = yield w.ld(parr_base + 4 * 32 * partner + lane4)
                 lanes = lanes + np.asarray(part, dtype=np.int64)
-                yield w.compute(p.add_cycles)
+                yield add_op
                 active_warps = half
 
         my_sum = int(lanes.sum())
@@ -155,7 +161,7 @@ class Reduction(App):
         done = yield w.ld(self.pblk.base + 4 * 32 * w.block_id, mask=leader)
         if int(done[0]) == 0:
             if not already_done:
-                yield w.st(seg + 4 * w.lane, lanes)
+                yield w.st(my_words, lanes)
                 yield w.prel(my_flag, 1, Scope.BLOCK)
             yield w.st(self.pblk.base + 4 * 32 * w.block_id, my_sum, mask=leader)
         elif not already_done:
@@ -175,7 +181,7 @@ class Reduction(App):
             yield from spin_pacq(w, self.bflags.base + 4 * blk, Scope.DEVICE)
             part = yield w.ld(self.pblk.base + 4 * 32 * blk, mask=leader)
             total += int(part[0])
-            yield w.compute(p.add_cycles)
+            yield add_op
         yield w.st(self.out.base, total, mask=leader)
         yield w.dfence()
 

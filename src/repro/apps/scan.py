@@ -97,14 +97,18 @@ class Scan(App):
         me = w.warp_in_block
         seg_base = blk * self.seg + me * w.warp_size
         my_words = 4 * (seg_base + w.lane)
+        # Per-warp address vectors, computed once (each buffer's lane
+        # addresses are reused across the round structure).
+        buf_addrs = [buf.base + my_words for buf in self.bufs]
+        add_op = w.compute(p.add_cycles)  # reused: the SM only reads it
 
         # Round 0: local inclusive scan of this warp's 32 elements.
-        done0 = yield w.ld(self.bufs[0].base + my_words)
+        done0 = yield w.ld(buf_addrs[0])
         if int(done0[-1]) == 0:
             vals = yield w.ld(self.input.base + my_words)
             local = np.cumsum(vals).astype(np.int64)
             yield w.compute(5 * p.add_cycles)  # warp-shuffle scan
-            yield w.st(self.bufs[0].base + my_words, local)
+            yield w.st(buf_addrs[0], local)
         else:
             local = np.asarray(done0, dtype=np.int64)
         yield w.prel(self._flag(blk, 0, me), 1, Scope.BLOCK)
@@ -113,7 +117,7 @@ class Scan(App):
         # warp (me - 2^{r-1}) from the previous round's buffer.
         for r in range(1, self.rounds + 1):
             stride = 1 << (r - 1)
-            done = yield w.ld(self.bufs[r].base + my_words)
+            done = yield w.ld(buf_addrs[r])
             if int(done[-1]) == 0:
                 if me >= stride:
                     src_warp = me - stride
@@ -128,8 +132,8 @@ class Scan(App):
                         mask=w.lane == 0,
                     )
                     local = local + int(carry[0])
-                    yield w.compute(p.add_cycles)
-                yield w.st(self.bufs[r].base + my_words, local)
+                    yield add_op
+                yield w.st(buf_addrs[r], local)
             else:
                 local = np.asarray(done, dtype=np.int64)
             yield w.prel(self._flag(blk, r, me), 1, Scope.BLOCK)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -62,6 +63,34 @@ def compare_benchmarks(
         "regressions": regressions,
         "only_base": sorted(set(base_cases) - set(new_cases)),
         "only_new": sorted(set(new_cases) - set(base_cases)),
+    }
+
+
+def check_speedup(
+    result: Mapping[str, Any],
+    min_speedup: float,
+    prefix: str = "sim.",
+) -> Dict[str, Any]:
+    """The fast-path improvement gate: median new/base ratio over the
+    cases matching *prefix* must reach *min_speedup*.
+
+    Used by CI to hold the committed ``BENCH_2.json`` (fast timing
+    core) against ``BENCH_1.json`` (pre-fastcore seed) — a future
+    commit that erodes the cold-sim speedup fails the gate even while
+    staying inside the ordinary regression tolerance.
+    """
+    ratios = {
+        row["case"]: row["new"] / row["base"]
+        for row in result["rows"]
+        if row["case"].startswith(prefix) and row["base"] > 0
+    }
+    median = statistics.median(ratios.values()) if ratios else 0.0
+    return {
+        "prefix": prefix,
+        "min_speedup": min_speedup,
+        "cases": dict(sorted(ratios.items())),
+        "median": median,
+        "passed": bool(ratios) and median >= min_speedup,
     }
 
 
@@ -115,6 +144,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="fail when either file has cases the other lacks",
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="additionally require the median new/base ratio over the "
+        "--speedup-cases cases to reach RATIO (the fast-core gate)",
+    )
+    parser.add_argument(
+        "--speedup-cases",
+        default="sim.",
+        metavar="PREFIX",
+        help="case-name prefix the --min-speedup gate covers "
+        "(default: sim., the cold single-scenario simulations)",
+    )
     args = parser.parse_args(argv)
     try:
         base = load_bench(args.base)
@@ -127,6 +171,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(render_comparison(result), end="")
     if not result["rows"]:
         print("no common cases to compare", flush=True)
+    failed = bool(result["regressions"])
+    if args.min_speedup is not None:
+        speedup = check_speedup(
+            result, args.min_speedup, prefix=args.speedup_cases
+        )
+        verdict = "ok" if speedup["passed"] else "FAIL"
+        print(
+            f"speedup gate [{args.speedup_cases}*]: median "
+            f"{speedup['median']:.2f}x vs required "
+            f"{args.min_speedup:.2f}x ({verdict}, "
+            f"{len(speedup['cases'])} case(s))",
+            flush=True,
+        )
+        failed = failed or not speedup["passed"]
     drift = result["only_base"] or result["only_new"]
     if args.require_common and drift:
         print(
@@ -135,7 +193,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             flush=True,
         )
         return 1
-    return 1 if result["regressions"] else 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests

@@ -292,7 +292,10 @@ def render_bench(doc: Dict[str, Any]) -> str:
 
 def _profile_case(case: PerfCase, cache_root: Optional[str], top: int) -> str:
     """Run *case* once under cProfile; sim cases also run traced so the
-    host hotspots land next to the simulation's own profile."""
+    host hotspots land next to the simulation's own profile.
+
+    The header names the engine path (``reference``/``fast``) so saved
+    hotspot tables stay attributable once both timing cores exist."""
     import cProfile
 
     from repro.trace.report import render_host_hotspots
@@ -301,17 +304,27 @@ def _profile_case(case: PerfCase, cache_root: Optional[str], top: int) -> str:
     if case.kind == "sim":
         assert case.model is not None and case.app is not None
         config = small_system(case.model, PMPlacement.FAR)
+        header = f"# profile {case.name} [engine={config.engine}]"
         system = GPUSystem(config, trace=True)
         app = build_app(case.app, **PERF_PARAMS[case.app])
         app.setup(system)
         profile.enable()
         app.run(system)
         profile.disable()
-        return system.trace_report() + "\n" + render_host_hotspots(profile, top=top)
+        return (
+            header
+            + "\n"
+            + system.trace_report()
+            + "\n"
+            + render_host_hotspots(profile, top=top)
+        )
+    # Non-sim cases build their configs internally off the same default.
+    engine = small_system(ModelName.SBRP).engine
+    header = f"# profile {case.name} [engine={engine}]"
     profile.enable()
     run_case_once(case, cache_root)
     profile.disable()
-    return render_host_hotspots(profile, top=top)
+    return header + "\n" + render_host_hotspots(profile, top=top)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -254,6 +254,14 @@ class ResilienceConfig:
         self.retry_policy()  # validates the backoff fields
 
 
+#: Timing-core implementations selectable via ``SystemConfig.engine``.
+#: ``"fast"`` is the flattened-queue/batched-warp core; ``"reference"``
+#: is the original straight-line implementation retained as the oracle
+#: for the differential harness (``repro.perfcore``).  Both must produce
+#: bit-identical results; the harness enforces it.
+ENGINE_KINDS = ("reference", "fast")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Complete configuration of one simulated scenario."""
@@ -264,12 +272,20 @@ class SystemConfig:
     sbrp: SBRPConfig = field(default_factory=SBRPConfig)
     seed: int = 0
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Timing-core selection; see :data:`ENGINE_KINDS`.  Participates in
+    #: :meth:`cache_key` so reference and fast runs of the same scenario
+    #: never dedupe to one cached result.
+    engine: str = "fast"
 
     def validate(self) -> "SystemConfig":
         self.gpu.validate()
         self.memory.validate()
         self.sbrp.validate()
         self.resilience.validate()
+        if self.engine not in ENGINE_KINDS:
+            raise ConfigError(
+                f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
+            )
         return self
 
     @property
@@ -312,6 +328,7 @@ class SystemConfig:
             sbrp=SBRPConfig(**sbrp),
             seed=data.get("seed", 0),
             resilience=resilience,
+            engine=data.get("engine", "fast"),
         ).validate()
 
     def cache_key(self) -> str:

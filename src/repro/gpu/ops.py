@@ -22,7 +22,13 @@ from repro.common.config import Scope
 
 
 def _as_array(values: Sequence[int] | np.ndarray | int, lanes: int) -> np.ndarray:
-    if np.isscalar(values):
+    if type(values) is np.ndarray:  # hot path: already a lane array
+        if values.shape != (lanes,):
+            raise ValueError(
+                f"expected {lanes} lane values, got shape {values.shape}"
+            )
+        return values if values.dtype == np.int64 else values.astype(np.int64)
+    if type(values) is int or np.isscalar(values):
         return np.full(lanes, values, dtype=np.int64)
     arr = np.asarray(values, dtype=np.int64)
     if arr.shape != (lanes,):
@@ -30,28 +36,48 @@ def _as_array(values: Sequence[int] | np.ndarray | int, lanes: int) -> np.ndarra
     return arr
 
 
+#: Shared all-lanes-active masks (mask=None default), one per warp size.
+#: Read-only so accidental in-place mutation fails loudly instead of
+#: corrupting every other op's mask.
+_FULL_MASKS: dict = {}
+
+
+def _full_mask(lanes: int) -> np.ndarray:
+    mask = _FULL_MASKS.get(lanes)
+    if mask is None:
+        mask = np.ones(lanes, dtype=bool)
+        mask.setflags(write=False)
+        _FULL_MASKS[lanes] = mask
+    return mask
+
+
 def _as_mask(mask: Optional[Sequence[bool]], lanes: int) -> np.ndarray:
     if mask is None:
-        return np.ones(lanes, dtype=bool)
+        return _full_mask(lanes)
     arr = np.asarray(mask, dtype=bool)
     if arr.shape != (lanes,):
         raise ValueError(f"expected {lanes} mask lanes, got shape {arr.shape}")
     return arr
 
 
-@dataclass
+@dataclass(slots=True)
 class Op:
-    """Base class of all warp-level operations."""
+    """Base class of all warp-level operations.
+
+    All ops are ``slots`` dataclasses: they are created once per executed
+    warp instruction, so trimming the per-instance ``__dict__`` is a
+    measurable win on the simulator hot path.
+    """
 
 
-@dataclass
+@dataclass(slots=True)
 class Compute(Op):
     """Pure ALU work costing a fixed number of cycles."""
 
     cycles: int = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class Ld(Op):
     """Per-lane loads; the SM sends back an int64 array of lane values."""
 
@@ -59,16 +85,24 @@ class Ld(Op):
     mask: np.ndarray
 
 
-@dataclass
+@dataclass(slots=True)
 class St(Op):
-    """Per-lane stores (volatile or PM, decided per address)."""
+    """Per-lane stores (volatile or PM, decided per address).
+
+    The SM partitions the lanes once per op and caches the result here
+    (``None`` = not yet split), so a store stalled by the persistency
+    model resumes from the lines it had left rather than re-splitting.
+    """
 
     addrs: np.ndarray
     values: np.ndarray
     mask: np.ndarray
+    pm_lines: Optional[dict] = None
+    vol_words: Optional[dict] = None
+    vol_lines: Optional[set] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class AtomicAdd(Op):
     """Per-lane atomic fetch-and-add performed at the L2 point of
     coherence; returns the per-lane old values."""
@@ -78,17 +112,17 @@ class AtomicAdd(Op):
     mask: np.ndarray
 
 
-@dataclass
+@dataclass(slots=True)
 class OFence(Op):
     """SBRP ordering fence: intra-thread PMO, buffered (Box 2)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class DFence(Op):
     """SBRP durability fence: stalls until prior persists are durable."""
 
 
-@dataclass
+@dataclass(slots=True)
 class PAcq(Op):
     """Scoped persist acquire on one flag word; returns its value."""
 
@@ -96,7 +130,7 @@ class PAcq(Op):
     scope: Scope
 
 
-@dataclass
+@dataclass(slots=True)
 class PRel(Op):
     """Scoped persist release: publish *value* at *addr* once ordering
     obligations are met."""
@@ -106,7 +140,7 @@ class PRel(Op):
     scope: Scope
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadFence(Op):
     """Classic CUDA ``__threadfence`` family; affects volatile *and*
     persistent writes (Section 5.2).  GPM's epoch barrier is the
@@ -115,11 +149,11 @@ class ThreadFence(Op):
     scope: Scope = Scope.DEVICE
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockBarrier(Op):
     """``__syncthreads()``: all warps of the threadblock rendezvous."""
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelEnd(Op):
     """Internal: injected by the SM when a warp's generator finishes."""

@@ -53,6 +53,10 @@ _OP_CATEGORY = {
 class SM:
     """One streaming multiprocessor."""
 
+    #: L1 implementation to instantiate; the fast core swaps in
+    #: :class:`~repro.gpu.fastcore.FastL1Cache` via this hook.
+    l1_class = L1Cache
+
     def __init__(self, sm_id: int, gpu: "GPU") -> None:
         self.sm_id = sm_id
         self.gpu = gpu
@@ -65,10 +69,12 @@ class SM:
         self.tracer = gpu.tracer
         self.metrics = gpu.metrics
         cfg = gpu.config.gpu
-        self.l1 = L1Cache(
+        self.l1 = self.l1_class(
             f"sm{sm_id}.l1", cfg.l1_size, cfg.line_size, cfg.l1_assoc, gpu.stats
         )
         self.line_size = cfg.line_size
+        #: Per-SM flush counter name, precomputed (flush_line is hot).
+        self.stat_pm_flushes = f"sm{sm_id}.pm_flushes"
         self.warps: Dict[int, Warp] = {}
         self._rr = 0
         self._next_issue_free = 0.0
@@ -316,19 +322,19 @@ class SM:
     # stores
     # ------------------------------------------------------------------
     def _process_store(self, warp: Warp, op: St, now: float) -> None:
-        if not hasattr(op, "pm_lines"):
+        if op.pm_lines is None:
             self._split_store(op)
         # Volatile half: write-through, fire-and-forget.
-        if op.vol_words:  # type: ignore[attr-defined]
-            for addr, value in op.vol_words.items():  # type: ignore[attr-defined]
+        if op.vol_words:
+            for addr, value in op.vol_words.items():
                 self.backing.write(addr, value)
                 self.stats.add("store.vol_words")
-            for line_addr in op.vol_lines:  # type: ignore[attr-defined]
+            for line_addr in op.vol_lines:
                 self.subsystem.write_volatile(now, line_addr, self.line_size)
-            op.vol_words = {}  # type: ignore[attr-defined]
+            op.vol_words = {}
         # PM half: one model call per line, resumable on stalls.
         latest = float(now)
-        pm_lines: Dict[int, Dict[int, int]] = op.pm_lines  # type: ignore[attr-defined]
+        pm_lines: Dict[int, Dict[int, int]] = op.pm_lines
         while pm_lines:
             line_addr = next(iter(pm_lines))
             words = pm_lines[line_addr]
@@ -357,9 +363,9 @@ class SM:
             else:
                 vol_words[addr] = value
                 vol_lines.add(addr - addr % self.line_size)
-        op.pm_lines = pm_lines  # type: ignore[attr-defined]
-        op.vol_words = vol_words  # type: ignore[attr-defined]
-        op.vol_lines = vol_lines  # type: ignore[attr-defined]
+        op.pm_lines = pm_lines
+        op.vol_words = vol_words
+        op.vol_lines = vol_lines
 
     # ------------------------------------------------------------------
     # atomics

@@ -69,13 +69,18 @@ class BackingStore:
 
     def load_pm_image(self, image: Mapping[int, int]) -> None:
         """Install a PM image (post-crash restart): durable == visible."""
-        for addr, value in image.items():
+        for addr in image:
             if not is_pm_addr(addr):
                 raise ValueError(f"PM image contains volatile addr {addr:#x}")
-        self.durable = dict(image)
+        # In-place (clear + update) rather than rebinding: the fast SM
+        # caches references to these dicts, and callers holding a ref
+        # must observe the restart too.
+        self.durable.clear()
+        self.durable.update(image)
         # After restart, the visible PM contents are exactly the durable
         # ones; volatile memory starts zeroed.
-        self.visible = dict(image)
+        self.visible.clear()
+        self.visible.update(image)
 
     def pm_words(self) -> Dict[int, int]:
         """All PM words currently visible (debug/verification aid)."""

@@ -22,9 +22,14 @@ from typing import Callable, Dict, Iterator, List, Optional
 from repro.common.stats import StatsRegistry
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
-    """One L1 line with the paper's PM extensions."""
+    """One L1 line with the paper's PM extensions.
+
+    A ``slots`` dataclass: line fields are probed on every load, store
+    and eviction, so dropping the per-instance ``__dict__`` measurably
+    speeds up the simulator hot path.
+    """
 
     tag: int = -1
     valid: bool = False
@@ -76,6 +81,13 @@ class L1Cache:
             raise ValueError(f"{name}: cache too small for its geometry")
         self._sets: List[List[CacheLine]] = [
             [CacheLine() for _ in range(assoc)] for _ in range(self.num_sets)
+        ]
+        #: Flat view of every line (set-major, way order) — the geometry
+        #: never changes after construction, so whole-cache scans
+        #: (invalidations, dirty-line sweeps) iterate this list instead
+        #: of a nested generator.
+        self._all_lines: List[CacheLine] = [
+            line for ways in self._sets for line in ways
         ]
         self.stats = stats if stats is not None else StatsRegistry()
 
@@ -130,11 +142,16 @@ class L1Cache:
     # ------------------------------------------------------------------
     # invalidation (epoch barriers, device-scope acquires)
     # ------------------------------------------------------------------
+    def drop_line(self, line: CacheLine) -> None:
+        """Invalidate a single resident line (eviction write-back).
+        Subclasses that index lines by tag must prune here as well."""
+        line.reset()
+
     def invalidate_clean_pm(self) -> int:
         """Drop clean PM lines (device-scope pAcq under SBRP).  Dirty PM
         lines hold this SM's own buffered persists and stay."""
         dropped = 0
-        for line in self._lines():
+        for line in self._all_lines:
             if line.valid and line.is_pm and not line.dirty:
                 line.reset()
                 dropped += 1
@@ -144,7 +161,7 @@ class L1Cache:
         """Drop all (now clean) PM lines — the epoch barrier's behaviour
         after it has flushed dirty persists."""
         dropped = 0
-        for line in self._lines():
+        for line in self._all_lines:
             if line.valid and line.is_pm:
                 line.reset()
                 dropped += 1
@@ -154,7 +171,7 @@ class L1Cache:
         """Drop everything — GPM's system-scope fence hits volatile lines
         too, which is precisely its extra cost over the PM-only epoch."""
         dropped = 0
-        for line in self._lines():
+        for line in self._all_lines:
             if line.valid:
                 line.reset()
                 dropped += 1
@@ -165,15 +182,16 @@ class L1Cache:
     # ------------------------------------------------------------------
     def dirty_pm_lines(self) -> List[CacheLine]:
         return [
-            line for line in self._lines() if line.valid and line.dirty and line.is_pm
+            line
+            for line in self._all_lines
+            if line.valid and line.dirty and line.is_pm
         ]
 
     def _lines(self) -> Iterator[CacheLine]:
-        for ways in self._sets:
-            yield from ways
+        return iter(self._all_lines)
 
     def occupancy(self) -> int:
-        return sum(1 for line in self._lines() if line.valid)
+        return sum(1 for line in self._all_lines if line.valid)
 
 
 class TagCache:

@@ -28,6 +28,10 @@ from repro.trace.tracer import NULL_TRACER, Tracer
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
 
+#: Hot-path stat names, indexed by ``is_pm`` (no per-access f-strings).
+_L2_READ_HIT = ("l2.read_hit_vol", "l2.read_hit_pm")
+_L2_READ_MISS = ("l2.read_miss_vol", "l2.read_miss_pm")
+
 
 @dataclass(frozen=True)
 class PersistRecord:
@@ -168,12 +172,11 @@ class MemorySubsystem:
     # ------------------------------------------------------------------
     def fetch_line(self, now: float, line_addr: int, is_pm: bool) -> float:
         """Time at which a missing line's data arrives at the SM."""
-        kind = "pm" if is_pm else "vol"
         after_l2 = now + self.gpu.l2_latency
         if self.l2.access(line_addr, now):
-            self.stats.add(f"l2.read_hit_{kind}")
+            self.stats.add(_L2_READ_HIT[is_pm])
             return after_l2
-        self.stats.add(f"l2.read_miss_{kind}")
+        self.stats.add(_L2_READ_MISS[is_pm])
         part = self._partition(line_addr)
         if not is_pm:
             return self.gddr[part].transfer(after_l2, self.line_size)

@@ -1,0 +1,40 @@
+"""Differential equivalence harness for the fast timing core.
+
+The simulator ships two timing-core implementations behind
+``SystemConfig.engine``: the original straight-line ``"reference"``
+engine and the optimised ``"fast"`` engine (flattened event queue,
+slotted hot paths, memoized address math).  Every downstream oracle —
+conformance, fault campaigns, serving, soak — assumes exact cycle
+reproducibility, so the fast path is only trusted because this package
+can prove, scenario by scenario, that both engines produce *identical*
+results: cycle counts, engine event counts, stats counters, metrics
+snapshots, crash images and litmus observations.
+
+Layout:
+
+``fingerprint``
+    Canonical, JSON-stable fingerprints of one run under one engine.
+``grid``
+    The matched scenario grid (models x apps x litmus corpus x fault
+    plans) and the per-cell pair runner.
+``diff``
+    The CLI: ``python -m repro.perfcore.diff`` runs every grid cell
+    under both engines and exits non-zero on any divergence.  Reports
+    are byte-identical across ``--workers`` counts.
+"""
+
+from repro.perfcore.fingerprint import (
+    fault_fingerprint,
+    litmus_fingerprint,
+    sim_fingerprint,
+)
+from repro.perfcore.grid import DiffCell, build_grid, run_cell
+
+__all__ = [
+    "DiffCell",
+    "build_grid",
+    "fault_fingerprint",
+    "litmus_fingerprint",
+    "run_cell",
+    "sim_fingerprint",
+]

@@ -1,0 +1,168 @@
+"""The matched scenario grid the differential harness sweeps.
+
+Every cell is a plain-JSON payload (so it crosses process boundaries
+and lands in reports verbatim) that :func:`run_cell` executes twice —
+once per engine — and reduces to a pair of fingerprints plus a match
+verdict.  The grid covers the three axes the tentpole promises:
+
+* **sim** — 3 persistency models x {gpkvs, reduction, scan}, the same
+  shrunk cases the golden-trace tests pin;
+* **litmus** — the full conformance corpus under every model, swept
+  through the smoke variant set (the bounded perturbations that make
+  ordering bugs visible);
+* **fault** — fault-plan cells (power cut under every model, plus a
+  torn-persist cell) whose crash/recover/classify sweep exercises the
+  crash-image path end to end.
+
+``--smoke`` keeps the litmus corpus (single model), one fault cell and
+one sim cell — the CI ``perfcore-smoke`` job's grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping
+
+from repro.common.config import ModelName
+
+from repro.perfcore.fingerprint import ENGINES, diff_paths, fingerprint
+
+#: Models of the matched grid, in suite order.
+GRID_MODELS = (ModelName.GPM, ModelName.EPOCH, ModelName.SBRP)
+
+#: Shrunk app parameters: the same sizes the golden-trace tests pin, so
+#: a diff failure here and a golden failure point at the same run.
+SIM_PARAMS: Dict[str, Dict[str, Any]] = {
+    "gpkvs": dict(n_pairs=256, capacity=512, rounds=2),
+    "reduction": dict(blocks=6, per_thread=4),
+    "scan": dict(blocks=8),
+}
+
+#: Crash points sampled per litmus variant (matches the bench case).
+LITMUS_CRASH_POINTS = 12
+
+#: Fault cells run a smaller app: every crash point costs a recovery.
+FAULT_PARAMS: Dict[str, Any] = dict(n_pairs=128, capacity=256, rounds=1)
+FAULT_MAX_CRASH_POINTS = 6
+
+
+@dataclass(frozen=True)
+class DiffCell:
+    """One differential cell: a named payload of a known kind."""
+
+    name: str
+    kind: str  # "sim" | "litmus" | "fault"
+    payload: Dict[str, Any]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "payload": self.payload}
+
+
+def _sim_cells(models) -> List[DiffCell]:
+    return [
+        DiffCell(
+            name=f"sim.{model.value}.{app}",
+            kind="sim",
+            payload={
+                "model": model.value,
+                "app": app,
+                "params": dict(params),
+            },
+        )
+        for model in models
+        for app, params in SIM_PARAMS.items()
+    ]
+
+
+def _litmus_cells(models) -> List[DiffCell]:
+    from repro.check.corpus import corpus_programs
+    from repro.check.enumerator import SMOKE_VARIANTS
+
+    variants = [variant.to_json() for variant in SMOKE_VARIANTS]
+    return [
+        DiffCell(
+            name=f"litmus.{model.value}.{program.name}",
+            kind="litmus",
+            payload={
+                "model": model.value,
+                "program": program.to_json(),
+                "variants": variants,
+                "crash_points": LITMUS_CRASH_POINTS,
+            },
+        )
+        for model in models
+        for program in corpus_programs()
+    ]
+
+
+def _fault_cells(models, torn: bool) -> List[DiffCell]:
+    from repro.faults.plans import PowerCutPlan, TornPersistPlan
+
+    cells = [
+        DiffCell(
+            name=f"fault.{model.value}.gpkvs.powercut",
+            kind="fault",
+            payload={
+                "model": model.value,
+                "app": "gpkvs",
+                "params": dict(FAULT_PARAMS),
+                "fault": dict(
+                    PowerCutPlan().to_json(),
+                    max_crash_points=FAULT_MAX_CRASH_POINTS,
+                ),
+            },
+        )
+        for model in models
+    ]
+    if torn:
+        cells.append(
+            DiffCell(
+                name="fault.sbrp.gpkvs.torn",
+                kind="fault",
+                payload={
+                    "model": ModelName.SBRP.value,
+                    "app": "gpkvs",
+                    "params": dict(FAULT_PARAMS),
+                    "fault": dict(
+                        TornPersistPlan().to_json(),
+                        max_crash_points=FAULT_MAX_CRASH_POINTS,
+                    ),
+                },
+            )
+        )
+    return cells
+
+
+def build_grid(smoke: bool = False) -> List[DiffCell]:
+    """The matched grid, in stable sweep order."""
+    if smoke:
+        return (
+            _sim_cells([ModelName.SBRP])[:1]
+            + _litmus_cells([ModelName.SBRP])
+            + _fault_cells([ModelName.SBRP], torn=False)
+        )
+    return (
+        _sim_cells(GRID_MODELS)
+        + _litmus_cells(GRID_MODELS)
+        + _fault_cells(GRID_MODELS, torn=True)
+    )
+
+
+def run_cell(cell_json: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run one cell under both engines; top-level so worker processes
+    can execute it.  The report is a pure function of the payload."""
+    kind = cell_json["kind"]
+    payload = cell_json["payload"]
+    prints = {
+        engine: fingerprint(kind, payload, engine) for engine in ENGINES
+    }
+    reference, fast = prints["reference"], prints["fast"]
+    mismatches = diff_paths(reference, fast)
+    return {
+        "name": cell_json["name"],
+        "kind": kind,
+        "match": not mismatches,
+        "mismatches": mismatches,
+        "reference": reference,
+        "fast": fast,
+    }

@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.gpu.warp import Warp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Outcome:
     """Result of a persistency-model hook."""
 
@@ -132,9 +132,13 @@ class PersistencyModel(abc.ABC):
         logged — the persist never becomes durable.
         """
         sm.engine.note_progress()
-        words: Dict[int, int] = dict(line.dirty_words)
-        for addr, value in words.items():
-            sm.backing.write(addr, value)
+        # Handed off, not copied: both exits below reassign the line a
+        # fresh dirty_words dict, so this reference is never aliased.
+        words: Dict[int, int] = line.dirty_words
+        # Bulk write-through: dirty words were int()-normalized and
+        # alignment-checked when stored, so a dict update is equivalent
+        # to per-word backing.write calls.
+        sm.backing.visible.update(words)
         faults = sm.subsystem.faults
         if (
             faults is not None
@@ -143,7 +147,7 @@ class PersistencyModel(abc.ABC):
         ):
             line.dirty = False
             line.dirty_words = {}
-            self.stats.add(f"sm{sm.sm_id}.pm_flushes")
+            self.stats.add(sm.stat_pm_flushes)
             self.stats.add("faults.dropped_flushes")
             return WriteAck(
                 accept_time=now + 1,
@@ -160,7 +164,7 @@ class PersistencyModel(abc.ABC):
             )
         line.dirty = False
         line.dirty_words = {}
-        self.stats.add(f"sm{sm.sm_id}.pm_flushes")
+        self.stats._counters[sm.stat_pm_flushes] += 1.0
         return ack
 
     def publish_flag(self, sm: "SM", addr: int, value: int) -> None:

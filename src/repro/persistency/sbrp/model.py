@@ -50,6 +50,11 @@ class SBRPModel(PersistencyModel):
     def __init__(self, config: SystemConfig, stats: StatsRegistry) -> None:
         super().__init__(config, stats)
         self.states: Dict[int, SBRPState] = {}
+        # Drain policy knobs are fixed for the model's lifetime (configs
+        # are replaced, never mutated); cache them off the attribute
+        # chain for the per-entry _policy_allows test.
+        self._drain_policy = config.sbrp.drain_policy
+        self._window = config.sbrp.window
 
     def init_sm(self, sm: "SM") -> None:
         self.states[sm.sm_id] = SBRPState(
@@ -284,7 +289,7 @@ class SBRPModel(PersistencyModel):
         if entry is None:
             # Defensive: a dirty PM line should always have a live entry.
             self.flush_line(sm, line, now)
-            line.reset()
+            sm.l1.drop_line(line)
             return Outcome.complete(now + 1)
         # The bypass is illegal when an ordering entry precedes the
         # victim's entry in the PB, or when the victim's warp has
@@ -305,7 +310,7 @@ class SBRPModel(PersistencyModel):
         # No ordering entry precedes it: flush out of FIFO order.
         st.pb.tombstone(entry)
         ack = self.flush_line(sm, line, now)
-        line.reset()
+        sm.l1.drop_line(line)
         st.add_inflight(ack.ack_time)
         st.sends_pending += 1
         self._schedule_ack(sm, st, ack.accept_time, ack.ack_time, entry.waiters)
@@ -321,7 +326,13 @@ class SBRPModel(PersistencyModel):
         if st.pump_scheduled:
             return
         st.pump_scheduled = True
-        sm.engine.schedule(sm.engine.now, lambda t: self._pump(sm, t))
+        cb = st.pump_cb
+        if cb is None:
+            def cb(t, _sm=sm, _pump=self._pump):
+                _pump(_sm, t)
+
+            st.pump_cb = cb
+        sm.engine.schedule(sm.engine.now, cb)
 
     def _pump(self, sm: "SM", now: float) -> None:
         """Drain pass: scan the PB in order, flushing every persist whose
@@ -341,31 +352,64 @@ class SBRPModel(PersistencyModel):
             st.fsm.reset()
         traced = sm.tracer.enabled
         hold = 0  # warps with a delayed earlier entry in this pass
-        for entry in list(st.pb.entries()):
-            if entry.kind is EntryKind.PERSIST:
-                if entry.warp_mask & (st.fsm.bits | hold):
-                    hold |= entry.warp_mask
+        pb = st.pb
+        # Physically drop leading tombstones first (head() is the FIFO's
+        # existing lazy-cleanup path): shorter scans, same live sequence.
+        pb.head()
+        fsm = st.fsm
+        fsm_bits = fsm.bits  # only _order_point_at_head mutates the FSM
+        persist = EntryKind.PERSIST
+        remove = pb.remove
+        # Inlined _policy_allows for the WINDOW policy (the default):
+        # the method is pure, so short-circuiting here is value-identical.
+        window = (
+            self._window
+            if self._drain_policy is DrainPolicy.WINDOW
+            else None
+        )
+        # Iterate the deque directly: the pass only *tombstones* entries
+        # (remove() flags them, never mutates the deque), and nothing in
+        # the loop body appends — wakes merely schedule events.  Checking
+        # ``evicted`` at visit time therefore matches the snapshot the
+        # reference ``list(entries())`` took up front.
+        for entry in pb._fifo:
+            if entry.evicted:
+                continue
+            warp_mask = entry.warp_mask
+            if entry.kind is persist:
+                if warp_mask & (fsm_bits | hold):
+                    hold |= warp_mask
                     if traced:
                         sm.tracer.persist_delay(sm.sm_id, entry.line_addr, "fsm")
                     continue
-                if not self._policy_allows(st, entry):
+                if not (
+                    entry.seq <= st.force_until_seq
+                    or st.space_waiters
+                    or (
+                        st.sends_pending < window
+                        if window is not None
+                        else self._policy_allows(st, entry)
+                    )
+                ):
                     if traced:
                         policy = self.config.sbrp.drain_policy
                         sm.tracer.persist_delay(
                             sm.sm_id, entry.line_addr, policy.value
                         )
                     break  # drain-rate budget exhausted for this pass
-                st.pb.remove(entry)
+                remove(entry)
                 self._flush_entry(sm, st, entry, now)
             else:
-                if entry.warp_mask & hold:
+                if warp_mask & hold:
                     # An earlier persist of this warp is still delayed;
                     # the ordering point cannot retire yet.
-                    hold |= entry.warp_mask
+                    hold |= warp_mask
                     continue
-                st.pb.remove(entry)
+                remove(entry)
                 self._order_point_at_head(sm, st, entry, now)
-            self._wake_space_waiters(sm, st, now)
+                fsm_bits = fsm.bits
+            if st.space_waiters:
+                self._wake_space_waiters(sm, st, now)
         if st.actr == 0:
             st.fsm.reset()
             self._resolve_actr_zero(sm, st, now)
@@ -419,11 +463,11 @@ class SBRPModel(PersistencyModel):
             return True
         if st.space_waiters:
             return True
-        policy = self.config.sbrp.drain_policy
+        policy = self._drain_policy
         if policy is DrainPolicy.EAGER:
             return True
         if policy is DrainPolicy.WINDOW:
-            return st.sends_pending < self.config.sbrp.window
+            return st.sends_pending < self._window
         return (
             st.pb.has_order_entries()
             or st.pb.live_count() > LAZY_PRESSURE * st.pb.capacity

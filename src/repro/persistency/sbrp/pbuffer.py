@@ -34,7 +34,7 @@ class EntryKind(enum.Enum):
         return self is not EntryKind.PERSIST
 
 
-@dataclass
+@dataclass(slots=True)
 class PBEntry:
     """One persist-buffer entry (44 bits of real hardware state)."""
 
@@ -110,9 +110,11 @@ class PersistBuffer:
         )
         self._fifo.append(entry)
         self._by_seq[entry.seq] = entry
-        if kind.is_order:
+        if kind is not EntryKind.PERSIST:
             self._order_entries += 1
-        self.peak_occupancy = max(self.peak_occupancy, self.live_count())
+        occupancy = len(self._fifo) - self._tombstones
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
         return entry
 
     def get(self, seq: int) -> Optional[PBEntry]:
@@ -155,7 +157,7 @@ class PersistBuffer:
         entry.evicted = True
         self._tombstones += 1
         self._by_seq.pop(entry.seq, None)
-        if entry.kind.is_order:
+        if entry.kind is not EntryKind.PERSIST:
             self._order_entries -= 1
 
     def tombstone(self, entry: PBEntry) -> None:

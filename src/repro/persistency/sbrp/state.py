@@ -72,6 +72,8 @@ class SBRPState:
         #: Drain everything up to this PB sequence regardless of policy.
         self.force_until_seq = 0
         self.pump_scheduled = False
+        #: Reused pump callback (one closure per SM, not per schedule).
+        self.pump_cb = None
 
     # ------------------------------------------------------------------
     # mask helpers

@@ -134,11 +134,19 @@ class GPUSystem:
 
     def host_write_words(self, alloc: Allocation, values: Sequence[int]) -> None:
         """memcpy host->device of 4-byte words from region start."""
-        for index, value in enumerate(values):
-            addr = alloc.word(index)
-            self.gpu.backing.write(addr, int(value))
-            if alloc.persistent:
-                self.gpu.backing.durable[addr] = int(value)
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        if not values:
+            return
+        alloc.word(len(values) - 1)  # bounds check up front
+        base = alloc.base
+        words = {
+            base + 4 * i: (v if type(v) is int else int(v))
+            for i, v in enumerate(values)
+        }
+        self.gpu.backing.visible.update(words)
+        if alloc.persistent:
+            self.gpu.backing.durable.update(words)
 
     def host_fill(self, alloc: Allocation, value: int) -> None:
         """memset of every word of the region."""
