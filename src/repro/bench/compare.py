@@ -7,20 +7,29 @@ non-common cases are listed as ``added`` / ``removed`` lines, and
 ``--require-common`` turns any such drift into a failure (for CI runs
 where the two suites must match exactly).
 
+``--trajectory`` switches to the multi-baseline view: it discovers
+every checked-in ``BENCH_<n>.json`` and prints the speedup chain —
+per-link median ratios between consecutive baselines and the running
+cumulative — so the whole optimisation trajectory reads as one line
+per hop instead of N pairwise invocations.
+
 Command line::
 
     python -m repro.bench.compare BENCH_1.json BENCH_2.json
     python -m repro.bench.compare old.json new.json --tolerance 0.10
     python -m repro.bench.compare old.json new.json --require-common
+    python -m repro.bench.compare --trajectory          # BENCH_* in .
+    python -m repro.bench.compare --trajectory --dir results/
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import statistics
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 #: Default allowed fractional drop of cycles/sec before failing.
 DEFAULT_TOLERANCE = 0.25
@@ -94,6 +103,79 @@ def check_speedup(
     }
 
 
+def discover_benchmarks(directory: Path) -> List[Tuple[int, Path]]:
+    """Every ``BENCH_<n>.json`` under *directory*, ordered by ``n``."""
+    found: List[Tuple[int, Path]] = []
+    for path in directory.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def trajectory(
+    benches: List[Tuple[str, Mapping[str, Any]]],
+    prefix: str = "sim.",
+    metric: str = "cycles_per_sec",
+) -> Dict[str, Any]:
+    """The cumulative speedup chain across an ordered baseline list.
+
+    Each link is the median new/base ratio (over *prefix* cases) of two
+    consecutive baselines; ``cumulative`` is the running product, and
+    ``direct`` is the first-vs-last median computed in one hop — the
+    two agree exactly when every case moved uniformly, and comparing
+    them shows how much case-mix drift the chain accumulated.
+    """
+    links: List[Dict[str, Any]] = []
+    cumulative = 1.0
+    for (old_name, old_doc), (new_name, new_doc) in zip(benches, benches[1:]):
+        result = compare_benchmarks(old_doc, new_doc, metric=metric)
+        speedup = check_speedup(result, 0.0, prefix=prefix)
+        cumulative *= speedup["median"]
+        links.append(
+            {
+                "base": old_name,
+                "new": new_name,
+                "median": speedup["median"],
+                "cases": len(speedup["cases"]),
+                "cumulative": cumulative,
+            }
+        )
+    direct = 0.0
+    if len(benches) > 1:
+        first_doc, last_doc = benches[0][1], benches[-1][1]
+        result = compare_benchmarks(first_doc, last_doc, metric=metric)
+        direct = check_speedup(result, 0.0, prefix=prefix)["median"]
+    return {
+        "prefix": prefix,
+        "metric": metric,
+        "baselines": [name for name, _ in benches],
+        "links": links,
+        "cumulative": cumulative if links else 0.0,
+        "direct": direct,
+    }
+
+
+def render_trajectory(result: Mapping[str, Any]) -> str:
+    names = result["baselines"]
+    if len(names) < 2:
+        return "need at least two BENCH_<n>.json baselines for a trajectory\n"
+    lines = [
+        f"speedup trajectory [{result['prefix']}*, {result['metric']}] "
+        f"over {len(names)} baselines"
+    ]
+    for link in result["links"]:
+        lines.append(
+            f"  {link['base']:14s} -> {link['new']:14s} "
+            f"median x{link['median']:.2f}   cumulative x{link['cumulative']:.2f}"
+        )
+    lines.append(
+        f"  {names[0]} -> {names[-1]} direct median x{result['direct']:.2f} "
+        f"(chained x{result['cumulative']:.2f})"
+    )
+    return "\n".join(lines) + "\n"
+
+
 def render_comparison(result: Mapping[str, Any]) -> str:
     lines = [
         f"{'case':22s} {'base':>14s} {'new':>14s} {'delta':>8s}",
@@ -125,8 +207,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.bench.compare",
         description="Flag throughput regressions between two BENCH files.",
     )
-    parser.add_argument("base", help="baseline BENCH_<n>.json")
-    parser.add_argument("new", help="new BENCH_<n>.json to judge")
+    parser.add_argument(
+        "base", nargs="?", default=None, help="baseline BENCH_<n>.json"
+    )
+    parser.add_argument(
+        "new", nargs="?", default=None, help="new BENCH_<n>.json to judge"
+    )
+    parser.add_argument(
+        "--trajectory",
+        action="store_true",
+        help="print the cumulative speedup chain across every "
+        "BENCH_<n>.json baseline instead of diffing one pair",
+    )
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=Path("."),
+        metavar="DIR",
+        help="directory searched for BENCH_<n>.json (--trajectory; "
+        "default: .)",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -160,6 +260,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: sim., the cold single-scenario simulations)",
     )
     args = parser.parse_args(argv)
+    if args.trajectory:
+        if args.base is not None or args.new is not None:
+            parser.error("--trajectory discovers baselines; omit base/new")
+        found = discover_benchmarks(args.dir)
+        if len(found) < 2:
+            parser.error(
+                f"--trajectory needs at least two BENCH_<n>.json in "
+                f"{args.dir} (found {len(found)})"
+            )
+        try:
+            benches = [
+                (path.name, load_bench(str(path))) for _, path in found
+            ]
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot load bench file: {exc}")
+        result = trajectory(
+            benches, prefix=args.speedup_cases, metric=args.metric
+        )
+        print(render_trajectory(result), end="")
+        if args.min_speedup is not None and result["cumulative"] < args.min_speedup:
+            print(
+                f"trajectory gate: cumulative x{result['cumulative']:.2f} "
+                f"below required x{args.min_speedup:.2f} (FAIL)",
+                flush=True,
+            )
+            return 1
+        return 0
+    if args.base is None or args.new is None:
+        parser.error("base and new bench files are required (or --trajectory)")
     try:
         base = load_bench(args.base)
         new = load_bench(args.new)

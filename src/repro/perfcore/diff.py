@@ -68,16 +68,18 @@ def build_report(
 
     Without ``full``, matching cells drop their (bulky, equal)
     fingerprints — the match verdict is the information; mismatching
-    cells always keep both fingerprints so the divergence is diffable
-    from the report alone.
+    cells always keep every engine's fingerprint so the divergence is
+    diffable from the report alone.
     """
+    from repro.perfcore.fingerprint import ENGINES
+
     cells: Dict[str, Any] = {}
     mismatched: List[str] = []
     for report in reports:
         entry = dict(report)
         if entry["match"] and not full:
-            entry.pop("reference", None)
-            entry.pop("fast", None)
+            for engine in ENGINES:
+                entry.pop(engine, None)
         cells[report["name"]] = entry
         if not report["match"]:
             mismatched.append(report["name"])

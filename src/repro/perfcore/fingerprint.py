@@ -23,8 +23,23 @@ from typing import Any, Dict, List, Mapping
 
 from repro.common.config import ModelName, PMPlacement, small_system
 
-#: Engines the harness pairs up, in report order.
-ENGINES = ("reference", "fast")
+#: Engines the harness pairs up, in report order.  ``reference`` is the
+#: oracle; every later name is diffed against it.  ``batch`` is not a
+#: ``SystemConfig.engine`` value — it is the fast engine with batched
+#: warp stepping on (see :func:`engine_config`).
+ENGINES = ("reference", "fast", "batch")
+
+
+def engine_config(config: Any, engine: str) -> Any:
+    """Resolve a harness engine name onto *config*.
+
+    The harness axis is finer than ``SystemConfig.engine``: ``batch``
+    selects the fast engine with ``batch_warps`` on, while ``fast``
+    pins batching *off* so the two fast rows exercise distinct cores.
+    """
+    if engine == "batch":
+        return replace(config, engine="fast", batch_warps=True)
+    return replace(config, engine=engine, batch_warps=False)
 
 
 def canonical_json(payload: Any) -> str:
@@ -60,8 +75,8 @@ def sim_fingerprint(
     from repro.apps import build_app
     from repro.system import GPUSystem
 
-    config = replace(
-        small_system(ModelName(model), PMPlacement.FAR), engine=engine
+    config = engine_config(
+        small_system(ModelName(model), PMPlacement.FAR), engine
     )
     system = GPUSystem(config, metrics=True)
     app_obj = build_app(app, **dict(params))
@@ -111,9 +126,7 @@ def litmus_fingerprint(
     per_variant: List[Dict[str, Any]] = []
     for variant_json in variants_json:
         variant = Variant.from_json(variant_json)
-        config = replace(
-            variant.configure(program, name), engine=engine
-        )
+        config = engine_config(variant.configure(program, name), engine)
         try:
             obs = simulate_program(
                 program,
@@ -171,8 +184,8 @@ def fault_fingerprint(
     """
     from repro.faults.runner import run_fault_scenario
 
-    config = replace(
-        small_system(ModelName(model), PMPlacement.FAR), engine=engine
+    config = engine_config(
+        small_system(ModelName(model), PMPlacement.FAR), engine
     )
     try:
         result = run_fault_scenario(app, config, dict(params), dict(fault))
@@ -187,6 +200,65 @@ def fault_fingerprint(
         "point_counts": detail["point_counts"],
         "detail_sha256": sha256_of(detail),
     }
+
+
+# ----------------------------------------------------------------------
+# serving and soak scenarios
+# ----------------------------------------------------------------------
+def _scenario_reduction(result: Any) -> Dict[str, Any]:
+    """Reduce a ScenarioResult to its engine-comparable core.  The
+    ``label`` is deliberately excluded (it names the config, which
+    necessarily differs across the engine axis); everything behavioural
+    — cycles, every stat, the structured detail, the full metrics
+    snapshot — is compared."""
+    return {
+        "cycles": result.cycles,
+        "stats": dict(sorted(result.stats.items())),
+        "detail_sha256": sha256_of(result.detail),
+        "metrics_sha256": sha256_of(result.metrics),
+    }
+
+
+def serve_fingerprint(
+    model: str, params: Mapping[str, Any], engine: str
+) -> Dict[str, Any]:
+    """One serving-subsystem scenario: stream planning, durable
+    transactions with adaptive persist-path selection, SLO pricing and
+    the worst-case recovery measurement."""
+    from repro.serve.runner import run_serve_scenario
+
+    config = engine_config(small_system(ModelName(model)), engine)
+    try:
+        result = run_serve_scenario("serve_kvs", config, dict(params))
+    except Exception as err:  # noqa: BLE001 - wedges must match too
+        return {"error": f"{type(err).__name__}: {err}"}
+    return _scenario_reduction(result)
+
+
+def soak_fingerprint(
+    model: str,
+    params: Mapping[str, Any],
+    soak: Mapping[str, Any],
+    engine: str,
+) -> Dict[str, Any]:
+    """One chaos-soak scenario: a resilient serve stream through a
+    chronic fault timeline with crash→recover legs — the heaviest
+    composite path the simulator has, covering the chronic injector,
+    crash imaging and oracle recovery on top of the serve kernels."""
+    from repro.chaos.runner import run_soak_scenario
+    from repro.common.config import ResilienceConfig
+
+    config = replace(
+        engine_config(small_system(ModelName(model)), engine),
+        resilience=ResilienceConfig(enabled=True),
+    )
+    try:
+        result = run_soak_scenario(
+            "serve_kvs", config, dict(params), dict(soak)
+        )
+    except Exception as err:  # noqa: BLE001 - wedges must match too
+        return {"error": f"{type(err).__name__}: {err}"}
+    return _scenario_reduction(result)
 
 
 # ----------------------------------------------------------------------
@@ -213,6 +285,12 @@ def fingerprint(kind: str, payload: Mapping[str, Any], engine: str) -> Dict[str,
             payload["params"],
             payload["fault"],
             engine,
+        )
+    if kind == "serve":
+        return serve_fingerprint(payload["model"], payload["params"], engine)
+    if kind == "soak":
+        return soak_fingerprint(
+            payload["model"], payload["params"], payload["soak"], engine
         )
     raise ValueError(f"unknown diff cell kind {kind!r}")
 

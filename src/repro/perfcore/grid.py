@@ -12,10 +12,19 @@ verdict.  The grid covers the three axes the tentpole promises:
   ordering bugs visible);
 * **fault** — fault-plan cells (power cut under every model, plus a
   torn-persist cell) whose crash/recover/classify sweep exercises the
-  crash-image path end to end.
+  crash-image path end to end;
+* **serve** — one serving-subsystem scenario per model (stream
+  planning, durable transactions, worst-case recovery measurement);
+* **soak** — the chaos-soak chain (resilient serve stream through a
+  chronic fault timeline with crash→recover legs) under SBRP.
 
-``--smoke`` keeps the litmus corpus (single model), one fault cell and
-one sim cell — the CI ``perfcore-smoke`` job's grid.
+Every cell runs under the full engine axis — reference, fast, and the
+batched fast core — and each non-reference engine is diffed against
+the reference fingerprint.
+
+``--smoke`` keeps the litmus corpus (single model), one fault cell,
+one sim cell and one serve cell — the CI ``perfcore-smoke`` job's
+grid.
 """
 
 from __future__ import annotations
@@ -45,13 +54,31 @@ LITMUS_CRASH_POINTS = 12
 FAULT_PARAMS: Dict[str, Any] = dict(n_pairs=128, capacity=256, rounds=1)
 FAULT_MAX_CRASH_POINTS = 6
 
+#: Serve cell: a shrunk serving-subsystem scenario (stream planning +
+#: durable transactions + worst-case recovery measurement).
+SERVE_PARAMS: Dict[str, Any] = dict(
+    n_requests=48, n_keys=48, capacity=128, batch_requests=24
+)
+
+#: Soak cell: a shrunk resilient serve stream through the pinned
+#: brownout+burst chronic-fault schedule with one crash→recover leg.
+SOAK_PARAMS: Dict[str, Any] = dict(
+    n_requests=48,
+    n_keys=48,
+    capacity=128,
+    batch_requests=12,
+    rate_per_kcycle=40.0,
+)
+SOAK_CRASH_EVERY_BATCHES = 2
+SOAK_CRASH_FRACTION = 0.6
+
 
 @dataclass(frozen=True)
 class DiffCell:
     """One differential cell: a named payload of a known kind."""
 
     name: str
-    kind: str  # "sim" | "litmus" | "fault"
+    kind: str  # "sim" | "litmus" | "fault" | "serve" | "soak"
     payload: Dict[str, Any]
 
     def to_json(self) -> Dict[str, Any]:
@@ -133,6 +160,39 @@ def _fault_cells(models, torn: bool) -> List[DiffCell]:
     return cells
 
 
+def _serve_cells(models) -> List[DiffCell]:
+    return [
+        DiffCell(
+            name=f"serve.{model.value}.kvs",
+            kind="serve",
+            payload={"model": model.value, "params": dict(SERVE_PARAMS)},
+        )
+        for model in models
+    ]
+
+
+def _soak_cells(models) -> List[DiffCell]:
+    from repro.chaos.soak import brownout_burst
+
+    soak = {
+        "timeline": brownout_burst().to_json(),
+        "crash_every_batches": SOAK_CRASH_EVERY_BATCHES,
+        "crash_fraction": SOAK_CRASH_FRACTION,
+    }
+    return [
+        DiffCell(
+            name=f"soak.{model.value}.kvs",
+            kind="soak",
+            payload={
+                "model": model.value,
+                "params": dict(SOAK_PARAMS),
+                "soak": soak,
+            },
+        )
+        for model in models
+    ]
+
+
 def build_grid(smoke: bool = False) -> List[DiffCell]:
     """The matched grid, in stable sweep order."""
     if smoke:
@@ -140,29 +200,40 @@ def build_grid(smoke: bool = False) -> List[DiffCell]:
             _sim_cells([ModelName.SBRP])[:1]
             + _litmus_cells([ModelName.SBRP])
             + _fault_cells([ModelName.SBRP], torn=False)
+            + _serve_cells([ModelName.SBRP])
         )
     return (
         _sim_cells(GRID_MODELS)
         + _litmus_cells(GRID_MODELS)
         + _fault_cells(GRID_MODELS, torn=True)
+        + _serve_cells(GRID_MODELS)
+        + _soak_cells([ModelName.SBRP])
     )
 
 
 def run_cell(cell_json: Mapping[str, Any]) -> Dict[str, Any]:
-    """Run one cell under both engines; top-level so worker processes
-    can execute it.  The report is a pure function of the payload."""
+    """Run one cell under every engine of the axis; top-level so worker
+    processes can execute it.  The report is a pure function of the
+    payload: the reference fingerprint is the oracle, and every other
+    engine (the fast core, the batched fast core) is diffed against it
+    with mismatch paths prefixed by the diverging engine's name."""
     kind = cell_json["kind"]
     payload = cell_json["payload"]
     prints = {
         engine: fingerprint(kind, payload, engine) for engine in ENGINES
     }
-    reference, fast = prints["reference"], prints["fast"]
-    mismatches = diff_paths(reference, fast)
-    return {
+    reference = prints["reference"]
+    mismatches: List[str] = []
+    for engine in ENGINES[1:]:
+        mismatches.extend(
+            f"{engine}:{path}"
+            for path in diff_paths(reference, prints[engine])
+        )
+    report = {
         "name": cell_json["name"],
         "kind": kind,
         "match": not mismatches,
         "mismatches": mismatches,
-        "reference": reference,
-        "fast": fast,
     }
+    report.update(prints)
+    return report

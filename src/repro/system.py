@@ -135,15 +135,14 @@ class GPUSystem:
     def host_write_words(self, alloc: Allocation, values: Sequence[int]) -> None:
         """memcpy host->device of 4-byte words from region start."""
         if isinstance(values, np.ndarray):
-            values = values.tolist()
+            values = values.tolist()  # C-speed, yields Python ints
+        elif any(type(v) is not int for v in values):
+            values = [int(v) for v in values]
         if not values:
             return
         alloc.word(len(values) - 1)  # bounds check up front
         base = alloc.base
-        words = {
-            base + 4 * i: (v if type(v) is int else int(v))
-            for i, v in enumerate(values)
-        }
+        words = dict(zip(range(base, base + 4 * len(values), 4), values))
         self.gpu.backing.visible.update(words)
         if alloc.persistent:
             self.gpu.backing.durable.update(words)

@@ -191,3 +191,59 @@ class TestCompare:
             ]
         )
         assert compare.main([str(out), str(out)]) == 0
+
+
+def _sim_doc(rate):
+    return _doc({"sim.a": rate, "sim.b": rate, "other.x": 999.0})
+
+
+class TestTrajectory:
+    def _chain(self, tmp_path, rates):
+        for n, rate in enumerate(rates, start=1):
+            path = tmp_path / f"BENCH_{n}.json"
+            path.write_text(json.dumps(_sim_doc(rate)))
+
+    def test_discovery_orders_numerically(self, tmp_path):
+        for name in ("BENCH_10.json", "BENCH_2.json", "BENCH_1.json",
+                     "BENCH_x.json", "OTHER_3.json"):
+            (tmp_path / name).write_text("{}")
+        found = compare.discover_benchmarks(tmp_path)
+        assert [n for n, _ in found] == [1, 2, 10]
+
+    def test_chain_is_product_of_links(self):
+        benches = [
+            ("BENCH_1.json", _sim_doc(100.0)),
+            ("BENCH_2.json", _sim_doc(300.0)),
+            ("BENCH_3.json", _sim_doc(600.0)),
+        ]
+        result = compare.trajectory(benches)
+        assert [round(link["median"], 6) for link in result["links"]] \
+            == [3.0, 2.0]
+        assert round(result["cumulative"], 6) == 6.0
+        # Uniform per-case movement: direct equals chained exactly.
+        assert round(result["direct"], 6) == 6.0
+
+    def test_cli_prints_chain_and_gates_on_cumulative(self, tmp_path, capsys):
+        self._chain(tmp_path, [100.0, 300.0, 600.0])
+        assert compare.main(["--trajectory", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative x6.00" in out
+        assert compare.main(
+            ["--trajectory", "--dir", str(tmp_path), "--min-speedup", "5.0"]
+        ) == 0
+        assert compare.main(
+            ["--trajectory", "--dir", str(tmp_path), "--min-speedup", "7.0"]
+        ) == 1
+        assert "below required x7.00" in capsys.readouterr().out
+
+    def test_cli_rejects_bad_invocations(self, tmp_path):
+        self._chain(tmp_path, [100.0])
+        with pytest.raises(SystemExit):  # fewer than two baselines
+            compare.main(["--trajectory", "--dir", str(tmp_path)])
+        self._chain(tmp_path, [100.0, 200.0])
+        with pytest.raises(SystemExit):  # positional files are pairwise-only
+            compare.main(
+                ["--trajectory", "--dir", str(tmp_path), "base.json", "n.json"]
+            )
+        with pytest.raises(SystemExit):  # pairwise mode needs both files
+            compare.main([])

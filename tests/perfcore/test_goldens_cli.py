@@ -1,0 +1,85 @@
+"""Satellite: the golden-trace management CLI (check / regenerate).
+
+``python -m repro.perfcore.goldens`` owns ``golden_traces.json``: check
+mode re-derives every case from the reference engine and diffs it
+against the committed file; ``--regenerate`` re-pins, but refuses to
+start from a git-dirty golden (that is what a hand-edited baseline
+looks like) unless ``--force`` is given.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.perfcore import goldens
+
+COMMITTED = Path(__file__).parent / "golden_traces.json"
+
+
+def test_check_mode_passes_on_committed_file(capsys):
+    assert goldens.main(["--file", str(COMMITTED)]) == 0
+    assert "matches the reference engine" in capsys.readouterr().out
+
+
+def test_check_mode_fails_with_field_paths(tmp_path, capsys):
+    doc = json.loads(COMMITTED.read_text(encoding="utf-8"))
+    doc["cases"]["sbrp.scan"]["cycles"] += 1.0
+    skewed = tmp_path / "golden_traces.json"
+    skewed.write_text(goldens.render(doc), encoding="utf-8")
+    assert goldens.main(["--file", str(skewed)]) == 1
+    err = capsys.readouterr().err
+    assert "diverges from the reference engine" in err
+    assert "sbrp.scan.cycles" in err
+
+
+def test_missing_file_is_an_error(tmp_path, capsys):
+    assert goldens.main(["--file", str(tmp_path / "nope.json")]) == 1
+    assert "no golden file" in capsys.readouterr().err
+
+
+@pytest.fixture
+def golden_repo(tmp_path):
+    """A scratch git repo with the real goldens committed at HEAD."""
+    subprocess.run(["git", "init", "-q", str(tmp_path)], check=True)
+    path = tmp_path / "golden_traces.json"
+    path.write_text(COMMITTED.read_text(encoding="utf-8"), encoding="utf-8")
+    env_args = ["-c", "user.email=t@t", "-c", "user.name=t"]
+    subprocess.run(
+        ["git", *env_args, "-C", str(tmp_path), "add", path.name], check=True
+    )
+    subprocess.run(
+        ["git", *env_args, "-C", str(tmp_path), "commit", "-q", "-m", "pin"],
+        check=True,
+    )
+    return path
+
+
+def test_regenerate_round_trips_committed_cases(golden_repo, capsys):
+    before = json.loads(golden_repo.read_text(encoding="utf-8"))
+    assert goldens.main(["--file", str(golden_repo), "--regenerate"]) == 0
+    assert "regenerated" in capsys.readouterr().out
+    after = json.loads(golden_repo.read_text(encoding="utf-8"))
+    # The reference engine still reproduces the committed pin exactly.
+    assert after["cases"] == before["cases"]
+    assert after["machine"] == before["machine"]
+
+
+def test_regenerate_refuses_dirty_file(golden_repo, capsys):
+    doc = json.loads(golden_repo.read_text(encoding="utf-8"))
+    doc["cases"]["sbrp.scan"]["cycles"] += 1.0
+    golden_repo.write_text(goldens.render(doc), encoding="utf-8")
+    assert goldens.main(["--file", str(golden_repo), "--regenerate"]) == 1
+    assert "refusing to regenerate" in capsys.readouterr().err
+    # The hand-edit is left in place, not silently overwritten.
+    assert json.loads(golden_repo.read_text(encoding="utf-8")) == doc
+    # --force re-pins from the reference engine, discarding the edit.
+    assert goldens.main(
+        ["--file", str(golden_repo), "--regenerate", "--force"]
+    ) == 0
+    regenerated = json.loads(golden_repo.read_text(encoding="utf-8"))
+    assert regenerated["cases"]["sbrp.scan"]["cycles"] \
+        != doc["cases"]["sbrp.scan"]["cycles"]

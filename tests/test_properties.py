@@ -164,6 +164,8 @@ def random_litmus(draw):
 def test_crash_images_are_pmo_consistent(program):
     """Every allowed image respects pmo: a durable write's pmo
     predecessors appear durable too (checked per location presence)."""
+    from collections import Counter
+
     from repro.common.errors import LitmusError
 
     for reads_from in all_reads_from(program):
@@ -173,10 +175,20 @@ def test_crash_images_are_pmo_consistent(program):
         except LitmusError:
             continue  # infeasible witness
         events = pmo.graph["events"]
+        writers = Counter(
+            (events[eid].loc, events[eid].value) for eid in pmo.nodes
+        )
         for image in allowed_crash_images(witness):
             for eid in pmo.nodes:
                 event = events[eid]
                 if image.get(event.loc, 0) != event.value:
+                    continue
+                if writers[(event.loc, event.value)] > 1:
+                    # Value aliasing: another event wrote the same
+                    # value to this location, so the image does not
+                    # identify which of them persisted — the
+                    # ancestor obligation cannot be pinned on this
+                    # event.
                     continue
                 for pred in nx.ancestors(pmo, eid):
                     ploc = events[pred].loc
